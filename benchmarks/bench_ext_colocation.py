@@ -1,0 +1,19 @@
+"""Regenerates the §7.2 co-location trade-off study (extension)."""
+
+
+def test_ext_colocation_tradeoff(exhibit):
+    (table,) = exhibit("ext-coloc")
+    rows = table.as_dicts()
+
+    def latency(placement, load):
+        return next(r["victim mean latency us"] for r in rows
+                    if r["placement"] == placement
+                    and r["neighbour load"] == load)
+
+    # Dedicated hosts isolate the victim from neighbour load.
+    assert latency("dedicated hosts", "96 clients") <= \
+        1.02 * latency("dedicated hosts", "idle")
+    # A shared pool does not: the noisy neighbour inflates victim latency.
+    assert latency("shared pool", "96 clients") > \
+        1.05 * latency("shared pool", "idle")
+    print(table.render())

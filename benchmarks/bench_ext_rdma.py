@@ -1,0 +1,11 @@
+"""Regenerates the §7.2 RDMA PoC ablation (extension)."""
+
+
+def test_ext_rdma_poc(exhibit, rows_by):
+    (table,) = exhibit("ext-rdma")
+    by_framework = rows_by(table, "rpc framework")
+    # Paper PoC: 500K -> 1M ops/s per node, a 2x improvement.
+    assert by_framework["rdma"]["speedup"] > 1.4
+    assert by_framework["rdma"]["lookup throughput Kop/s"] > \
+        by_framework["tcp"]["lookup throughput Kop/s"]
+    print(table.render())

@@ -1,0 +1,16 @@
+"""Regenerates Figure 3: namespace characteristics of ns1-ns5."""
+
+
+def test_fig03_namespace_characteristics(exhibit, rows_by):
+    shape, depths = exhibit("fig03")
+    by_ns = rows_by(shape, "namespace")
+    assert set(by_ns) == {"ns1", "ns2", "ns3", "ns4", "ns5"}
+    # Paper Fig 3a: objects are 82.0-91.7% of entries in every namespace.
+    for row in by_ns.values():
+        assert 75.0 <= row["object %"] <= 95.0
+    # Paper Fig 3b: average depths cluster around 11.
+    for row in rows_by(depths, "namespace").values():
+        assert 8.0 <= row["synth avg depth"] <= 17.0
+        assert row["max depth"] >= 15
+    print(shape.render())
+    print(depths.render())

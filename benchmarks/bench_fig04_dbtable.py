@@ -1,0 +1,16 @@
+"""Regenerates Figure 4: DBtable-based service bottlenecks."""
+
+
+def test_fig04_dbtable_bottlenecks(exhibit, rows_by):
+    breakdown, contention = exhibit("fig04")
+    by_op = rows_by(breakdown, "operation")
+    # Paper Fig 4a: lookup dominates (89.9/91.2/63.1% of latency).
+    assert by_op["objstat"]["lookup share %"] > 80
+    assert by_op["dirstat"]["lookup share %"] > 80
+    assert by_op["delete"]["lookup share %"] > 45
+    # Paper Fig 4b: contention collapses throughput by ~99%.
+    for row in rows_by(contention, "operation").values():
+        assert row["throughput drop %"] > 60
+        assert row["retries under conflict"] > 0
+    print(breakdown.render())
+    print(contention.render())

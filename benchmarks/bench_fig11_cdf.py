@@ -1,0 +1,22 @@
+"""Regenerates Figure 11: latency CDFs inside the applications."""
+
+
+def test_fig11_latency_cdfs(exhibit):
+    spark, audio = exhibit("fig11")
+    spark_rows = spark.as_dicts()
+    # Paper: contended dirrename has extreme tails in at least one baseline
+    # (InfiniFS: 10.6% of operations above 5s) while Mantle stays tight.
+    mantle_rename = next(r for r in spark_rows
+                         if r["op"] == "dirrename" and r["system"] == "mantle")
+    worst_tail = max(r["frac > 10x median"] for r in spark_rows
+                     if r["op"] == "dirrename" and r["system"] != "mantle")
+    assert worst_tail > mantle_rename["frac > 10x median"]
+    assert mantle_rename["frac > 10x median"] <= 0.05
+
+    audio_rows = audio.as_dicts()
+    # Paper: Mantle's objstat distribution is fast; InfiniFS's is broad.
+    objstat = {r["system"]: r for r in audio_rows if r["op"] == "objstat"}
+    assert objstat["mantle"]["p50"] <= objstat["tectonic"]["p50"]
+    assert objstat["mantle"]["p50"] <= objstat["infinifs"]["p50"]
+    print(spark.render())
+    print(audio.render())

@@ -1,0 +1,17 @@
+"""Regenerates Figure 13: latency breakdown of reads/object ops."""
+
+
+def test_fig13_read_breakdown(exhibit, rows_by):
+    table, reductions = exhibit("fig13")
+    rows = table.as_dicts()
+    # Mantle's lookup phase is the shortest for every operation.
+    for op in ("create", "delete", "objstat", "dirstat"):
+        lookups = {r["system"]: r["lookup"] for r in rows if r["op"] == op}
+        assert lookups["mantle"] <= lookups["tectonic"]
+        assert lookups["mantle"] <= lookups["infinifs"]
+    by_op = rows_by(reductions, "op")
+    # Paper: 83.9-89.0% reduction vs Tectonic; we accept >= 70%.
+    for op, row in by_op.items():
+        assert row["vs tectonic"] >= 70, (op, row)
+    print(table.render())
+    print(reductions.render())

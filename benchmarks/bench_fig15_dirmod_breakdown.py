@@ -1,0 +1,26 @@
+"""Regenerates Figure 15: latency breakdown of directory modifications."""
+
+
+def test_fig15_dirmod_breakdown(exhibit):
+    (table,) = exhibit("fig15")
+    rows = table.as_dicts()
+
+    def cell(case, system):
+        return next(r for r in rows
+                    if r["case"] == case and r["system"] == system)
+
+    # Paper: Mantle records zero lookup time in dirrename (merged with loop
+    # detection), and Tectonic performs no loop detection at all.
+    for case in ("dirrename-e", "dirrename-s"):
+        assert cell(case, "mantle")["lookup"] == 0
+        assert cell(case, "mantle")["loop detect"] > 0
+        assert cell(case, "tectonic")["loop detect"] == 0
+    # Loop detection shows up for InfiniFS renames too.
+    assert cell("dirrename-e", "infinifs")["loop detect"] > 0
+    # mkdir has no loop-detection phase anywhere.
+    for system in ("tectonic", "infinifs", "locofs", "mantle"):
+        assert cell("mkdir-e", system)["loop detect"] == 0
+    # Contention inflates the execution phase, not the lookup phase.
+    assert cell("mkdir-s", "tectonic")["execution"] > \
+        3 * cell("mkdir-e", "tectonic")["execution"]
+    print(table.render())

@@ -1,0 +1,19 @@
+"""Regenerates Figure 16: effects of individual optimisations."""
+
+
+def test_fig16_ablation(exhibit, rows_by):
+    normalised, raw = exhibit("fig16")
+    by_config = rows_by(normalised, "configuration")
+    # Paper: '+pathcache' substantially lifts dirstat (about doubles it).
+    assert by_config["+pathcache"]["dirstat-e"] > 1.3
+    # '+raftlogbatch' takes effect on mkdir-e by amortising commits.
+    assert by_config["+raftlogbatch"]["mkdir-e"] > \
+        2 * by_config["+pathcache"]["mkdir-e"]
+    # '+delta record' eliminates the dirrename-s conflicts.
+    assert by_config["+delta record"]["dirrename-s"] > \
+        3 * by_config["+raftlogbatch"]["dirrename-s"]
+    # '+follower read' adds lookup headroom on top of the path cache.
+    assert by_config["+follower read"]["dirstat-e"] > \
+        by_config["+pathcache"]["dirstat-e"]
+    print(normalised.render())
+    print(raw.render())

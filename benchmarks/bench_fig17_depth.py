@@ -1,0 +1,18 @@
+"""Regenerates Figure 17: impact of path depth on resolution latency."""
+
+
+def test_fig17_depth_scaling(exhibit, rows_by):
+    (table,) = exhibit("fig17")
+    by_system = rows_by(table, "system")
+    # Paper: Tectonic's lookup latency grows ~linearly with depth (6.82x
+    # from depth 1 to 10); Mantle stays essentially flat (1.09x).
+    assert by_system["tectonic"]["depth10 / depth2"] > 3.0
+    assert by_system["mantle"]["depth10 / depth2"] < 1.4
+    # Mantle is flattest of all four systems.
+    for name in ("tectonic", "infinifs", "locofs"):
+        assert by_system["mantle"]["depth10 / depth2"] <= \
+            by_system[name]["depth10 / depth2"]
+    # Monotone growth for the sequential resolver.
+    depths = [by_system["tectonic"][f"depth {d}"] for d in (2, 4, 6, 8, 10)]
+    assert depths == sorted(depths)
+    print(table.render())

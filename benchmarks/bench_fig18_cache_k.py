@@ -1,0 +1,17 @@
+"""Regenerates Figure 18: impact of k in TopDirPathCache."""
+
+
+def test_fig18_cache_k(exhibit, rows_by):
+    (table,) = exhibit("fig18")
+    by_k = rows_by(table, "k")
+    # Paper: latency rises with k; memory falls steeply (k=3 uses ~12% of
+    # k=1's memory and is ~31% slower than k=1 — still far below no-cache).
+    latencies = [by_k[k]["latency us"] for k in (1, 2, 3, 4, 5)]
+    assert latencies == sorted(latencies)
+    assert by_k[3]["memory vs k=1"] < 0.35
+    assert by_k[3]["normalised to base"] < 0.8
+    assert by_k[3]["vs k=1"] < 1.6
+    # Cacheable coverage shrinks (weakly) with k.
+    coverage = [by_k[k]["ns4 coverage"] for k in (1, 3, 5)]
+    assert coverage[0] >= coverage[1] >= coverage[2]
+    print(table.render())

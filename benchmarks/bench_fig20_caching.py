@@ -1,0 +1,19 @@
+"""Regenerates Figure 20: impact of adding metadata caching."""
+
+
+def test_fig20_metadata_caching(exhibit):
+    (table,) = exhibit("fig20")
+    rows = table.as_dicts()
+
+    def cell(workload, system):
+        return next(r for r in rows
+                    if r["workload"] == workload and r["system"] == system)
+
+    # Paper: caching substantially improves InfiniFS on read-heavy Audio
+    # (115.1s -> 63.0s) but helps Mantle far less (68.9s -> 63.0s).
+    assert cell("audio", "infinifs")["improvement %"] > 15
+    assert cell("audio", "infinifs")["improvement %"] > \
+        cell("audio", "mantle")["improvement %"]
+    # Analytics (modification-dominated) sees at most modest gains.
+    assert cell("analytics", "mantle")["improvement %"] < 20
+    print(table.render())

@@ -1,0 +1,77 @@
+"""Wall-clock micro-benchmarks of the DES kernel and TafDB substrate.
+
+The whole reproduction rides on the event loop: these benchmarks track how
+many simulated events/transactions per wall-second the kernel sustains.
+"""
+
+from repro.sim.core import Simulator
+from repro.sim.host import Host
+from repro.tafdb.rows import Dirent, attr_key, dirent_key
+from repro.tafdb.shard import ShardState, WriteIntent
+from repro.types import AttrMeta, EntryKind
+
+
+def test_kernel_timeout_churn(benchmark):
+    def run():
+        sim = Simulator()
+        done = []
+
+        def worker(i):
+            for _ in range(20):
+                yield sim.timeout(1)
+            done.append(i)
+
+        for i in range(200):
+            sim.process(worker(i))
+        sim.run()
+        return len(done)
+
+    assert benchmark(run) == 200
+
+
+def test_kernel_resource_contention(benchmark):
+    def run():
+        sim = Simulator()
+        host = Host(sim, "h", cores=4)
+
+        def worker():
+            for _ in range(10):
+                yield from host.work(5)
+
+        for _ in range(50):
+            sim.process(worker())
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) > 0
+
+
+def test_shard_single_shard_txns(benchmark):
+    def run():
+        shard = ShardState()
+        shard.execute("seed", [WriteIntent(
+            attr_key(1), "insert", AttrMeta(id=1, kind=EntryKind.DIRECTORY))])
+        for i in range(1000):
+            shard.execute(f"t{i}", [WriteIntent(
+                dirent_key(1, f"o{i}"), "insert",
+                Dirent(id=i + 10, kind=EntryKind.OBJECT,
+                       attrs=AttrMeta(id=i + 10, kind=EntryKind.OBJECT)))])
+        return shard.row_count
+
+    assert benchmark(run) == 1001
+
+
+def test_shard_scan_children(benchmark):
+    shard = ShardState()
+    shard.execute("seed", [WriteIntent(
+        attr_key(1), "insert", AttrMeta(id=1, kind=EntryKind.DIRECTORY))])
+    for i in range(1000):
+        shard.execute(f"t{i}", [WriteIntent(
+            dirent_key(1, f"o{i:04d}"), "insert",
+            Dirent(id=i + 10, kind=EntryKind.OBJECT,
+                   attrs=AttrMeta(id=i + 10, kind=EntryKind.OBJECT)))])
+
+    def scan():
+        return shard.scan_children(1, limit=100)
+
+    assert len(benchmark(scan)) == 100

@@ -1,0 +1,14 @@
+"""Regenerates Table 1: RTT rounds per lookup."""
+
+
+def test_table1_rtt_comparison(exhibit, rows_by):
+    (table,) = exhibit("table1")
+    by_system = rows_by(table, "system")
+    # Paper: pathlen RTTs for the DBtable approach, single-RPC resolution
+    # for tiering (LocoFS) and Mantle.
+    assert by_system["tectonic"]["mean RPCs (whole op)"] >= 9.5
+    assert by_system["mantle"]["mean RPCs (whole op)"] <= 2.5
+    assert by_system["locofs"]["mean RPCs (whole op)"] <= 2.5
+    # Lookup dominates the DBtable service's latency (Fig 4a's 89.9%).
+    assert by_system["tectonic"]["lookup-phase share of latency"] > 0.8
+    print(table.render())

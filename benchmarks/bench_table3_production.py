@@ -1,0 +1,17 @@
+"""Regenerates Table 3: production namespace characteristics + headroom."""
+
+
+def test_table3_production_headroom(exhibit, rows_by):
+    profiles, capacity = exhibit("table3")
+    by_name = rows_by(profiles, "name")
+    assert set(by_name) == {"C1", "C2", "C3", "C4", "C5"}
+    # Published peaks: 175-400 Kop/s lookup, 9-24 Kop/s mkdir.
+    for row in by_name.values():
+        assert 175 <= row["peak lookup Kop/s"] <= 400
+        assert 9 <= row["peak mkdir Kop/s"] <= 24
+    # Paper: production peaks are "only a fraction of Mantle's capacity".
+    by_metric = rows_by(capacity, "metric")
+    assert by_metric["lookup"]["headroom x (vs scaled peak)"] > 1.0
+    assert by_metric["mkdir"]["headroom x (vs scaled peak)"] > 1.0
+    print(profiles.render())
+    print(capacity.render())

@@ -1,0 +1,39 @@
+"""Shared fixtures for the figure/table benchmark suite.
+
+Every paper exhibit has one ``bench_*`` module here.  Each benchmark runs
+the corresponding experiment once (a single ``pedantic`` round — the
+workloads are deterministic simulations, so repetition only wastes time),
+records headline context in ``benchmark.extra_info`` and asserts the
+paper's qualitative claim ("who wins, by roughly what factor").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def exhibit(benchmark):
+    """Run one registered experiment under pytest-benchmark."""
+    def _run(experiment_id: str, scale: str = "quick"):
+        from repro.experiments import get_experiment
+
+        experiment = get_experiment(experiment_id)
+        tables = benchmark.pedantic(
+            lambda: experiment.run(scale=scale), rounds=1, iterations=1)
+        benchmark.extra_info["experiment"] = experiment_id
+        benchmark.extra_info["claim"] = experiment.paper_claim
+        benchmark.extra_info["tables"] = [t.title for t in tables]
+        return tables
+    return _run
+
+
+def _rows_by(table, key_header: str):
+    idx = list(table.headers).index(key_header)
+    return {row[idx]: dict(zip(table.headers, row)) for row in table.rows}
+
+
+@pytest.fixture
+def rows_by():
+    """Index a result Table's rows by one column."""
+    return _rows_by

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Multi-namespace operation (paper §4 / §7).
+
+One Mantle deployment hosting three namespaces: a shared TafDB stores
+everyone's metadata while each namespace gets its own IndexNode Raft
+group.  Two small namespaces co-locate their IndexNodes on a shared host
+pool (§7.2); the busy one gets dedicated servers.
+
+Run:  python examples/multi_namespace.py
+"""
+
+from repro.core.config import MantleConfig
+from repro.core.multitenant import MantleDeployment
+from repro.sim.stats import OpContext
+
+
+def run_op(system, op, *args):
+    ctx = OpContext(op)
+    return system.sim.run_process(system.submit(op, *args, ctx=ctx))
+
+
+def main() -> None:
+    config = MantleConfig(num_db_servers=6, num_db_shards=24, db_cores=8,
+                          num_proxies=4, proxy_cores=16, index_cores=8)
+    deployment = MantleDeployment(config, shared_index_pool=3)
+
+    print("== provisioning namespaces ==")
+    training = deployment.create_namespace("ai-training")  # dedicated hosts
+    ads = deployment.create_namespace("advertising", colocate=True)
+    logs = deployment.create_namespace("log-analysis", colocate=True)
+    for name, system in deployment.namespaces.items():
+        hosts = sorted({n.host.name
+                        for n in system.index_group.nodes.values()})
+        print(f"  {name:14s} root_id={system.root_id:3d} "
+              f"indexnodes={hosts}")
+
+    print("\n== identical paths, fully isolated ==")
+    for system in (training, ads, logs):
+        run_op(system, "mkdir", "/datasets")
+        run_op(system, "create", f"/datasets/{system.namespace}.bin")
+    for system in (training, ads, logs):
+        listing = run_op(system, "readdir", "/datasets")
+        print(f"  {system.namespace:14s} /datasets -> {listing}")
+
+    print("\n== one shared TafDB underneath ==")
+    print(f"  total metadata rows across namespaces: "
+          f"{deployment.total_metadata_rows}")
+    print(f"  directories per namespace: {deployment.namespace_sizes()}")
+
+    print("\n== cross-namespace independence of renames ==")
+    run_op(training, "mkdir", "/datasets/v1")
+    run_op(training, "dirrename", "/datasets/v1", "/datasets/v2")
+    print("  ai-training renamed /datasets/v1 -> /datasets/v2;",
+          "advertising unaffected:",
+          run_op(ads, "readdir", "/datasets"))
+
+    deployment.shutdown()
+    print("\ndone")
+
+
+if __name__ == "__main__":
+    main()

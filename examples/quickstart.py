@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: a tour of the Mantle public API.
+
+Spins up a small simulated Mantle deployment (3 IndexNode replicas, a
+sharded TafDB, 2 proxies) and walks the namespace operations the paper's
+COSS exposes: mkdir, create, stat, listdir, rename (with loop detection),
+delete and rmdir.  Every call drives the discrete-event cluster under the
+hood; latencies printed at the end are *simulated* microseconds.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MantleClient
+from repro.errors import NoSuchPathError, RenameLoopError
+
+
+def main() -> None:
+    with MantleClient() as client:
+        print("== building a namespace ==")
+        client.mkdir("/datasets")
+        client.mkdir("/datasets/audio/raw/2026/07", parents=True)
+        for segment in range(5):
+            client.create(f"/datasets/audio/raw/2026/07/seg-{segment:03d}.wav")
+        print("created:", client.listdir("/datasets/audio/raw/2026/07"))
+
+        print("\n== stat and attributes ==")
+        stat = client.objstat("/datasets/audio/raw/2026/07/seg-000.wav")
+        print(f"object id={stat.id} kind={stat.kind.value}")
+        dstat = client.dirstat("/datasets/audio/raw/2026/07")
+        print(f"directory entries={dstat.entry_count}")
+
+        print("\n== cross-directory rename ==")
+        client.mkdir("/archive")
+        client.rename("/datasets/audio/raw/2026", "/archive/2026")
+        print("after rename:", client.listdir("/archive/2026/07"))
+        try:
+            client.rename("/archive", "/archive/2026/oops")
+        except RenameLoopError as exc:
+            print("loop detection works:", exc)
+
+        print("\n== cleanup ==")
+        client.delete("/archive/2026/07/seg-004.wav")
+        try:
+            client.objstat("/archive/2026/07/seg-004.wav")
+        except NoSuchPathError:
+            print("seg-004 is gone")
+
+        print("\n== observability ==")
+        print(f"simulated time: {client.simulated_time_us:.0f} us")
+        print("TopDirPathCache:", client.cache_stats())
+        for op, recorder in sorted(client.metrics.latency.items()):
+            print(f"  {op:10s} n={recorder.count:3d} "
+                  f"mean={recorder.mean:7.1f}us p99={recorder.p99:7.1f}us")
+
+
+if __name__ == "__main__":
+    main()

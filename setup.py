@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is configured via ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools predates
+wheel-less PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Reproduction of Mantle (SOSP 2025).
+
+Mantle is a hierarchical metadata service for cloud object storage services
+(COSSs).  This package implements the full system described in the paper —
+the sharded TafDB metadata database, the Raft-replicated per-namespace
+IndexNode with its TopDirPathCache and Invalidator, the proxy orchestration
+layer — together with the three baselines the paper compares against
+(Tectonic, InfiniFS and LocoFS), all running over a from-scratch
+discrete-event cluster simulator.
+
+Quickstart::
+
+    from repro import MantleClient
+
+    client = MantleClient()
+    client.mkdir("/datasets/audio/raw")
+    client.create("/datasets/audio/raw/seg-000.bin")
+    print(client.objstat("/datasets/audio/raw/seg-000.bin"))
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every reproduced table and figure.
+"""
+
+from repro.core.api import MantleClient
+from repro.core.config import MantleConfig
+from repro.errors import (
+    AlreadyExistsError,
+    MetadataError,
+    NoSuchPathError,
+    NotADirectoryError,
+    NotEmptyError,
+    PermissionDeniedError,
+    RenameLoopError,
+    TransactionAbort,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MantleClient",
+    "MantleConfig",
+    "MetadataError",
+    "NoSuchPathError",
+    "AlreadyExistsError",
+    "NotADirectoryError",
+    "NotEmptyError",
+    "PermissionDeniedError",
+    "RenameLoopError",
+    "TransactionAbort",
+    "__version__",
+]

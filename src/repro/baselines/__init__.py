@@ -1,0 +1,29 @@
+"""Baseline metadata services the paper compares against (§6.1).
+
+Faithful re-implementations, as the paper itself did ("we re-implement them
+faithfully since they are not public"):
+
+* :mod:`~repro.baselines.tectonic` — the DBtable approach: level-by-level
+  path resolution over sharded tables, relaxed consistency for directory
+  updates (no distributed transactions);
+* :mod:`~repro.baselines.infinifs` — speculative parallel path resolution,
+  AM-Cache metadata caching, CFS-style two-transaction directory updates and
+  a dedicated rename coordinator;
+* :mod:`~repro.baselines.locofs` — tiered design: a central directory
+  metadata server (Raft-replicated) plus a scalable object-metadata DB.
+
+All of them implement :class:`repro.baselines.base.MetadataSystem`, the same
+interface Mantle exposes, so workloads and benchmarks are system-agnostic.
+"""
+
+from repro.baselines.base import MetadataSystem
+from repro.baselines.tectonic import TectonicSystem
+from repro.baselines.infinifs import InfiniFSSystem
+from repro.baselines.locofs import LocoFSSystem
+
+__all__ = [
+    "MetadataSystem",
+    "TectonicSystem",
+    "InfiniFSSystem",
+    "LocoFSSystem",
+]

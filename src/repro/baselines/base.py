@@ -1,0 +1,138 @@
+"""The system-agnostic metadata-service interface.
+
+Every system under evaluation (Mantle, Tectonic, InfiniFS, LocoFS) exposes
+the same seven mdtest operations plus bulk-loading hooks, so the workload
+generators and the benchmark harness never special-case a system.
+
+Operation methods are *generators* running inside the discrete-event
+simulation; ``submit`` is the uniform entry point that stamps the
+:class:`~repro.sim.stats.OpContext` and routes through a round-robin proxy
+choice, mirroring the stateless proxy layer all COSS architectures share.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.sim.core import Simulator
+from repro.sim.network import Network
+from repro.sim.stats import OpContext
+
+#: The mdtest operation names used throughout benchmarks (§6.3).
+OPS = ("create", "delete", "objstat", "dirstat", "readdir",
+       "mkdir", "rmdir", "dirrename", "setattr")
+
+
+class MetadataSystem:
+    """Abstract base; subclasses implement ``op_<name>`` generators."""
+
+    name = "abstract"
+
+    def __init__(self, sim: Simulator, network: Network):
+        self.sim = sim
+        self.network = network
+        self._uuid_counter = itertools.count(1)
+        self.data_access_enabled = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def startup(self) -> None:
+        """Run elections / warmup; must be called before submitting ops."""
+
+    def shutdown(self) -> None:
+        """Stop background processes so the event queue can drain."""
+
+    # -- bulk loading (pre-population, no simulated cost) -----------------------
+
+    def bulk_mkdir(self, path: str) -> int:
+        raise NotImplementedError
+
+    def bulk_create(self, path: str, size: int = 0) -> int:
+        raise NotImplementedError
+
+    # -- uniform submission -----------------------------------------------------
+
+    def next_uuid(self) -> str:
+        """Client-generated request UUID (idempotent retry support, §5.3)."""
+        return f"{self.name}-req-{next(self._uuid_counter)}"
+
+    def submit(self, op: str, *args, ctx: Optional[OpContext] = None):
+        """Run one metadata operation end to end (generator).
+
+        Stamps start/finish times on ``ctx`` and optionally appends the
+        data-service access the paper's Figure 10b end-to-end runs include.
+        """
+        if op not in OPS:
+            raise ValueError(f"unknown operation {op!r}")
+        handler = getattr(self, "op_" + op, None)
+        if handler is None:
+            raise NotImplementedError(f"{self.name} does not implement {op!r}")
+        if ctx is None:
+            ctx = OpContext(op)
+        ctx.start = self.sim.now
+        result = yield from handler(*args, ctx=ctx)
+        if self.data_access_enabled and op in ("create", "delete", "objstat"):
+            yield from self.data_access(ctx)
+        ctx.finish = self.sim.now
+        return result
+
+    def data_access(self, ctx: OpContext):
+        """One small-object data-service access: a single RPC plus tens of
+        microseconds of SSD device time (§3)."""
+        costs = getattr(self, "costs", None)
+        one_way = costs.net_one_way_us if costs else 50.0
+        device = costs.data_io_small_us if costs else 80.0
+        yield self.sim.timeout(2 * one_way + device)
+
+    # -- operations (override in subclasses) ---------------------------------------
+
+    def op_create(self, path: str, ctx: OpContext):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def op_delete(self, path: str, ctx: OpContext):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def op_objstat(self, path: str, ctx: OpContext):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def op_dirstat(self, path: str, ctx: OpContext):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def op_readdir(self, path: str, ctx: OpContext):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def op_mkdir(self, path: str, ctx: OpContext):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def op_rmdir(self, path: str, ctx: OpContext):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def op_dirrename(self, src: str, dst: str, ctx: OpContext):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def op_setattr(self, path: str, permission, ctx: OpContext):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class IdAllocator:
+    """Monotonic inode-id allocator shared by bulk loading and proxies.
+
+    Real deployments hand out per-proxy id ranges; a shared counter has the
+    same correctness properties and no simulated cost, so we keep it simple.
+    """
+
+    def __init__(self, start: int = 2):
+        self._counter = itertools.count(start)
+
+    def next(self) -> int:
+        return next(self._counter)

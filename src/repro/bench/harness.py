@@ -1,0 +1,60 @@
+"""The workload runner: N simulated clients against one metadata system."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import MetadataError
+from repro.sim.stats import MetricSet, OpContext
+
+
+def run_workload(system, workload, num_clients: Optional[int] = None,
+                 metrics: Optional[MetricSet] = None,
+                 setup: bool = True) -> MetricSet:
+    """Run ``workload`` with concurrent clients; returns the metrics.
+
+    Each client is one simulated process draining its operation stream
+    back-to-back (closed-loop, like mdtest threads).  Failures surface in
+    ``metrics.ops_failed`` rather than aborting the run — contended
+    workloads are *supposed* to abort and retry.
+    """
+    if num_clients is None:
+        num_clients = getattr(workload, "num_clients")
+    if setup:
+        workload.setup(system)
+    metrics = metrics or MetricSet()
+    sim = system.sim
+
+    def client(cid: int):
+        for op, args in workload.client_ops(cid):
+            ctx = OpContext(op)
+            try:
+                yield from system.submit(op, *args, ctx=ctx)
+            except MetadataError:
+                ctx.finish = sim.now
+                metrics.record_failure(ctx)
+                continue
+            metrics.record(ctx)
+
+    metrics.started_at = sim.now
+    done = sim.all_of([
+        sim.process(client(cid), name=f"client-{cid}")
+        for cid in range(num_clients)
+    ])
+    sim.run_until(done)
+    if not done.triggered:
+        raise RuntimeError("workload deadlocked: clients never finished")
+    metrics.finished_at = sim.now
+    return metrics
+
+
+def run_single_op(system, op: str, *args) -> OpContext:
+    """Run one operation and return its context (latency, phases, RPCs)."""
+    ctx = OpContext(op)
+    system.sim.run_process(system.submit(op, *args, ctx=ctx))
+    return ctx
+
+
+def completion_time_us(metrics: MetricSet) -> float:
+    """Wall-clock (simulated) duration of a finished workload run."""
+    return metrics.duration_us

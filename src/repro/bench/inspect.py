@@ -1,0 +1,88 @@
+"""Cluster introspection: where did the simulated time and CPU go?
+
+After a workload run, :func:`cluster_report` summarises every host's CPU
+utilisation, fsync counts, and subsystem counters (transaction aborts,
+cache hit rates, Raft batching efficiency).  Used by examples and by
+anyone debugging why a configuration under- or over-performs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.report import Table
+
+
+def _hosts_of(system) -> List:
+    hosts = []
+    tafdb = getattr(system, "tafdb", None)
+    if tafdb is not None:
+        hosts.extend(tafdb.hosts)
+    group = getattr(system, "index_group", None) or \
+        getattr(system, "dir_group", None)
+    if group is not None:
+        seen = set()
+        for node in group.nodes.values():
+            if id(node.host) not in seen:
+                seen.add(id(node.host))
+                hosts.append(node.host)
+    coordinator = getattr(system, "coordinator", None)
+    if coordinator is not None:
+        hosts.append(coordinator.host)
+    for entry in getattr(system, "proxies", []):
+        host = entry.host if hasattr(entry, "host") else entry[0]
+        hosts.append(host)
+    return hosts
+
+
+def host_utilization_table(system, elapsed_us: float) -> Table:
+    """Per-host CPU utilisation and fsync counts over ``elapsed_us``."""
+    table = Table(
+        f"host utilisation over {elapsed_us / 1000:.1f} ms "
+        f"({getattr(system, 'name', 'system')})",
+        ["host", "cores", "cpu busy ms", "utilisation %", "fsyncs"])
+    for host in _hosts_of(system):
+        table.add_row(
+            host.name, host.cores,
+            round(host.cpu_busy_us / 1000, 2),
+            round(100 * host.utilization(elapsed_us), 1),
+            host.fsync_count)
+    return table
+
+
+def subsystem_counters_table(system) -> Table:
+    """Aborts, commits, cache statistics and Raft batching efficiency."""
+    table = Table(f"subsystem counters ({getattr(system, 'name', 'system')})",
+                  ["counter", "value"])
+    tafdb = getattr(system, "tafdb", None)
+    if tafdb is not None:
+        table.add_row("tafdb.commits", tafdb.total_commits)
+        table.add_row("tafdb.aborts", tafdb.total_aborts)
+        table.add_row("tafdb.rows", tafdb.total_rows)
+        table.add_row("tafdb.delta_mode_dirs", tafdb.contention.active_count)
+    group = getattr(system, "index_group", None)
+    if group is not None:
+        leader = group.current_leader()
+        if leader is not None:
+            table.add_row("raft.proposals", leader.proposals)
+            table.add_row("raft.batches", leader.batches_flushed)
+            if leader.batches_flushed:
+                table.add_row(
+                    "raft.mean_batch",
+                    round(leader.entries_flushed / leader.batches_flushed, 2))
+            cache = leader.state_machine.cache
+            table.add_row("pathcache.entries", len(cache))
+            table.add_row("pathcache.hit_rate", round(cache.hit_rate, 3))
+            table.add_row("pathcache.memory_bytes", cache.memory_bytes)
+            invalidator = leader.state_machine.invalidator
+            table.add_row("invalidator.purged", invalidator.purged_entries)
+    return table
+
+
+def bottleneck(system, elapsed_us: float) -> str:
+    """Name of the busiest host — the first place to look when saturated."""
+    hosts = _hosts_of(system)
+    if not hosts or elapsed_us <= 0:
+        return "unknown"
+    busiest = max(hosts, key=lambda h: h.utilization(elapsed_us))
+    return busiest.name

@@ -1,0 +1,97 @@
+"""Plain-text tables and series, the output format of every experiment.
+
+Experiments print "the same rows/series the paper reports"; this module
+keeps that rendering in one place so every figure reproduction looks alike
+and is machine-parseable (aligned columns, one header row).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclasses.dataclass
+class Table:
+    """One printable result table."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = dataclasses.field(default_factory=list)
+    notes: List[str] = dataclasses.field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row width {len(values)} != header width {len(self.headers)}")
+        self.rows.append(values)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, header: str) -> List[Any]:
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+    def render(self) -> str:
+        return format_table(self)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(table: Table) -> str:
+    """Render a Table with aligned columns."""
+    cells = [[_fmt(h) for h in table.headers]]
+    cells += [[_fmt(v) for v in row] for row in table.rows]
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(table.headers))]
+    lines = [f"== {table.title} =="]
+    for row_no, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)).rstrip())
+        if row_no == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    for note in table.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def table_to_jsonable(table: Table) -> Dict[str, Any]:
+    """Table -> plain dict, for machine-readable experiment output."""
+    return {
+        "title": table.title,
+        "headers": list(table.headers),
+        "rows": [list(row) for row in table.rows],
+        "notes": list(table.notes),
+    }
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe speedup/ratio helper used all over the experiment modules."""
+    if denominator == 0:
+        return float("inf") if numerator > 0 else 0.0
+    return numerator / denominator
+
+
+def print_tables(tables: Sequence[Table],
+                 header: Optional[str] = None) -> str:
+    parts = []
+    if header:
+        parts.append(header)
+    parts.extend(table.render() for table in tables)
+    text = "\n\n".join(parts)
+    print(text)
+    return text

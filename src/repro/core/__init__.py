@@ -1,0 +1,1 @@
+"""Mantle's core: proxy layer, operation orchestration, public client API."""

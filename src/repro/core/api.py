@@ -1,0 +1,174 @@
+"""MantleClient — the synchronous public facade.
+
+Hides the discrete-event simulation behind an ordinary Python API: each call
+spawns the operation as a simulated process and drives the event loop until
+it completes.  This is what the examples and downstream users consume::
+
+    from repro import MantleClient
+
+    client = MantleClient()
+    client.mkdir("/datasets/audio")
+    client.create("/datasets/audio/seg-000.bin", size=4096)
+    print(client.listdir("/datasets/audio"))
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import MantleConfig
+from repro.core.service import MantleSystem
+from repro.errors import MetadataError
+from repro.paths import normalize as paths_normalize
+from repro.sim.stats import MetricSet, OpContext
+from repro.types import Permission, StatResult
+
+
+def _small_config() -> MantleConfig:
+    """A laptop-friendly cluster shape for interactive use."""
+    return MantleConfig(num_db_servers=3, num_db_shards=6, num_proxies=2,
+                        index_replicas=3, num_learners=0,
+                        index_cores=8, db_cores=8, proxy_cores=8)
+
+
+class MantleClient:
+    """Synchronous client over a simulated Mantle deployment.
+
+    Parameters
+    ----------
+    config:
+        Cluster shape and optimisation toggles; defaults to a small
+        three-replica deployment suitable for examples and tests.
+    """
+
+    def __init__(self, config: Optional[MantleConfig] = None):
+        self.system = MantleSystem(config or _small_config())
+        self.system.startup()
+        self.metrics = MetricSet()
+        self.metrics.started_at = self.system.sim.now
+
+    # -- internal --------------------------------------------------------------
+
+    def _run(self, op: str, *args):
+        ctx = OpContext(op)
+        try:
+            result = self.system.sim.run_process(
+                self.system.submit(op, *args, ctx=ctx), name=op)
+        except MetadataError:
+            self.metrics.record_failure(ctx)
+            raise
+        self.metrics.record(ctx)
+        self.metrics.finished_at = self.system.sim.now
+        return result
+
+    # -- namespace operations ------------------------------------------------------
+
+    def mkdir(self, path: str, parents: bool = False) -> int:
+        """Create a directory; with ``parents=True`` create missing ancestors."""
+        if parents:
+            from repro.paths import ancestors, normalize
+            for ancestor in ancestors(normalize(path))[1:]:
+                if not self.exists(ancestor):
+                    self._run("mkdir", ancestor)
+        return self._run("mkdir", path)
+
+    def rmdir(self, path: str) -> int:
+        return self._run("rmdir", path)
+
+    def create(self, path: str, size: int = 0) -> int:
+        """Create an object (PUT without data body in this model)."""
+        del size  # size is recorded via bulk loaders; kept for API symmetry
+        return self._run("create", path)
+
+    def delete(self, path: str) -> int:
+        return self._run("delete", path)
+
+    def objstat(self, path: str) -> StatResult:
+        return self._run("objstat", path)
+
+    def dirstat(self, path: str) -> StatResult:
+        return self._run("dirstat", path)
+
+    def stat(self, path: str) -> StatResult:
+        """stat either kind: try the object path first, then directory."""
+        try:
+            return self.objstat(path)
+        except MetadataError:
+            return self.dirstat(path)
+
+    def listdir(self, path: str) -> List[str]:
+        return self._run("readdir", path)
+
+    def listdir_page(self, path: str, limit: int,
+                     start_after: Optional[str] = None) -> List[str]:
+        """One page of directory entries (S3-style continuation listing)."""
+        ctx = OpContext("readdir")
+        proxy = self.system.proxy()
+        ctx.start = self.system.sim.now
+        result = self.system.sim.run_process(
+            proxy.op_readdir(path, ctx, limit=limit, start_after=start_after),
+            name="readdir-page")
+        ctx.finish = self.system.sim.now
+        self.metrics.record(ctx)
+        return result
+
+    def walk(self, path: str = "/", page_size: int = 64):
+        """Iterate every entry under ``path`` breadth-first (paged)."""
+        pending = [paths_normalize(path)]
+        while pending:
+            current = pending.pop(0)
+            start_after = None
+            while True:
+                page = self.listdir_page(current, page_size, start_after)
+                for name in page:
+                    child = current.rstrip("/") + "/" + name
+                    yield child
+                    try:
+                        if self.dirstat(child).is_dir:
+                            pending.append(child)
+                    except MetadataError:
+                        pass  # an object, or raced with a delete
+                if len(page) < page_size:
+                    break
+                start_after = page[-1]
+
+    def rename(self, src: str, dst: str) -> int:
+        """Atomic cross-directory rename with loop detection."""
+        return self._run("dirrename", src, dst)
+
+    def setattr(self, path: str, permission: Permission) -> StatResult:
+        return self._run("setattr", path, permission)
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.stat(path)
+            return True
+        except MetadataError:
+            return False
+
+    # -- observability --------------------------------------------------------------
+
+    @property
+    def simulated_time_us(self) -> float:
+        return self.system.sim.now
+
+    def cache_stats(self) -> dict:
+        """TopDirPathCache statistics of the current leader replica."""
+        leader = self.system.index_group.leader_or_raise()
+        cache = leader.state_machine.cache
+        return {
+            "entries": len(cache),
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "hit_rate": cache.hit_rate,
+            "memory_bytes": cache.memory_bytes,
+        }
+
+    def close(self) -> None:
+        self.system.shutdown()
+
+    def __enter__(self) -> "MantleClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

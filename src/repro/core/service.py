@@ -1,0 +1,242 @@
+"""Assembly of a complete Mantle deployment (Figure 5).
+
+One :class:`MantleSystem` wires together the simulated cluster: the shared
+TafDB, the per-namespace IndexNode Raft group (leader + followers +
+optional learners), and a fleet of stateless proxies.  It implements the
+system-agnostic :class:`~repro.baselines.base.MetadataSystem` interface used
+by every workload and benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.baselines.base import IdAllocator, MetadataSystem
+from repro.core.config import MantleConfig
+from repro.core.proxy import MantleProxy
+from repro.errors import NoSuchPathError
+from repro.indexnode.server import IndexNodeService
+from repro.indexnode.state import IndexNodeState
+from repro.paths import parent_and_name
+from repro.raft.group import RaftGroup
+from repro.raft.node import RaftConfig
+from repro.sim.core import Simulator
+from repro.sim.host import Host
+from repro.sim.network import Network
+from repro.tafdb.cluster import TafDBCluster
+from repro.tafdb.rows import Dirent, attr_key, dirent_key
+from repro.tafdb.shard import WriteIntent
+from repro.types import ROOT_ID, AttrMeta, EntryKind
+
+
+class MantleSystem(MetadataSystem):
+    """A full simulated Mantle deployment for one namespace."""
+
+    name = "mantle"
+
+    def __init__(self, config: Optional[MantleConfig] = None,
+                 sim: Optional[Simulator] = None,
+                 network: Optional[Network] = None, seed: int = 7,
+                 tafdb: Optional[TafDBCluster] = None,
+                 ids: Optional[IdAllocator] = None,
+                 root_id: int = ROOT_ID,
+                 namespace: str = "default",
+                 index_hosts: Optional[List[Host]] = None):
+        """Build one namespace's Mantle service.
+
+        By default everything (simulator, network, TafDB) is private; a
+        :class:`~repro.core.multitenant.MantleDeployment` passes shared
+        ``sim``/``network``/``tafdb``/``ids`` plus a per-namespace
+        ``root_id``, reproducing the paper's multi-namespace architecture
+        (shared TafDB, one IndexNode Raft group per namespace, §4/§7).
+        ``index_hosts`` allows co-locating several namespaces' IndexNode
+        replicas on shared physical servers (§7.2).
+        """
+        self.config = config or MantleConfig()
+        self.config.validate()
+        costs = self.config.costs
+        sim = sim or Simulator()
+        network = network or Network(sim, one_way_us=costs.net_one_way_us)
+        super().__init__(sim, network)
+        self.costs = costs
+        self.namespace = namespace
+        self.root_id = root_id
+
+        self.tafdb = tafdb or TafDBCluster(
+            sim, network,
+            num_servers=self.config.num_db_servers,
+            num_shards=self.config.num_db_shards,
+            cores=self.config.db_cores,
+            costs=costs,
+            compaction_period_us=self.config.compaction_period_us,
+            delta_threshold=self.config.delta_activation_threshold,
+            delta_window_us=self.config.delta_activation_window_us,
+            deltas_enabled=self.config.enable_delta_records)
+        self._owns_tafdb = tafdb is None
+
+        raft_config = RaftConfig(
+            batching_enabled=self.config.enable_raft_batching,
+            batch_window_us=self.config.raft_batch_window_us,
+            max_batch=self.config.raft_max_batch,
+            snapshot_threshold=self.config.raft_snapshot_threshold)
+        replicas = self.config.index_replicas + self.config.num_learners
+        if index_hosts is None:
+            index_hosts = [
+                Host(sim, f"{namespace}-indexnode-{i}",
+                     cores=self.config.index_cores, fsync_us=costs.fsync_us)
+                for i in range(replicas)
+            ]
+        elif len(index_hosts) != replicas:
+            raise ValueError("index_hosts must cover voters + learners")
+        self.index_group = RaftGroup(
+            sim, network, index_hosts,
+            state_machine_factory=lambda nid: IndexNodeState(
+                cache_k=self.config.path_cache_k,
+                cache_enabled=self.config.enable_path_cache,
+                root_id=root_id),
+            num_voters=self.config.index_replicas,
+            num_learners=self.config.num_learners,
+            config=raft_config, costs=costs, seed=seed)
+        self.index_services: Dict[int, IndexNodeService] = {
+            nid: IndexNodeService(
+                node.host, node, node.state_machine, costs,
+                purge_period_us=self.config.invalidator_period_us)
+            for nid, node in self.index_group.nodes.items()
+        }
+
+        self.ids = ids or IdAllocator(start=root_id + 1)
+        self.proxies = [MantleProxy(self, i)
+                        for i in range(self.config.num_proxies)]
+        self._proxy_rr = 0
+        self._bulk_dirs: Dict[str, int] = {"/": root_id}
+        self._bulk_seq = 0
+        self._install_root()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _install_root(self) -> None:
+        """Install the namespace root's attribute row directly in TafDB."""
+        self._bulk_execute(self.root_id, [WriteIntent(
+            attr_key(self.root_id), "insert",
+            AttrMeta(id=self.root_id, kind=EntryKind.DIRECTORY))])
+
+    def startup(self) -> None:
+        """Elect the IndexNode leader; must run before submitting ops."""
+        self.sim.run_process(self.index_group.wait_for_leader())
+
+    def shutdown(self) -> None:
+        for service in self.index_services.values():
+            service.stop()
+        self.index_group.stop()
+        if self._owns_tafdb:
+            self.tafdb.stop_compactors()
+
+    # -- routing ---------------------------------------------------------------------
+
+    def proxy(self) -> MantleProxy:
+        self._proxy_rr += 1
+        return self.proxies[self._proxy_rr % len(self.proxies)]
+
+    def lookup_services(self) -> List[IndexNodeService]:
+        return [svc for svc in self.index_services.values()
+                if not svc.host.crashed]
+
+    # -- MetadataSystem operations ------------------------------------------------------
+
+    def op_create(self, path, ctx):
+        result = yield from self.proxy().op_create(path, ctx=ctx)
+        return result
+
+    def op_delete(self, path, ctx):
+        result = yield from self.proxy().op_delete(path, ctx=ctx)
+        return result
+
+    def op_objstat(self, path, ctx):
+        result = yield from self.proxy().op_objstat(path, ctx=ctx)
+        return result
+
+    def op_dirstat(self, path, ctx):
+        result = yield from self.proxy().op_dirstat(path, ctx=ctx)
+        return result
+
+    def op_readdir(self, path, ctx):
+        result = yield from self.proxy().op_readdir(path, ctx=ctx)
+        return result
+
+    def op_mkdir(self, path, ctx):
+        result = yield from self.proxy().op_mkdir(path, ctx=ctx)
+        return result
+
+    def op_rmdir(self, path, ctx):
+        result = yield from self.proxy().op_rmdir(path, ctx=ctx)
+        return result
+
+    def op_dirrename(self, src, dst, ctx):
+        result = yield from self.proxy().op_dirrename(src, dst, ctx=ctx)
+        return result
+
+    def op_setattr(self, path, permission, ctx):
+        result = yield from self.proxy().op_setattr(path, permission, ctx=ctx)
+        return result
+
+    # -- bulk loading ----------------------------------------------------------------------
+
+    def _bulk_execute(self, pid: int, intents) -> None:
+        shard_id = self.tafdb.partitioner.shard_of(pid)
+        server = self.tafdb.servers[
+            self.tafdb.partitioner.server_of_shard(shard_id)]
+        self._bulk_seq += 1
+        server.shard(shard_id).execute(f"bulk-{self._bulk_seq}", intents)
+
+    def _bulk_parent(self, path: str):
+        parent_path, name = parent_and_name(path)
+        pid = self._bulk_dirs.get(parent_path)
+        if pid is None:
+            raise NoSuchPathError(path, parent_path)
+        return parent_path, name, pid
+
+    def _bulk_bump_parent(self, pid: int, link_delta: int, entry_delta: int):
+        shard_id = self.tafdb.partitioner.shard_of(pid)
+        shard = self.tafdb.servers[
+            self.tafdb.partitioner.server_of_shard(shard_id)].shard(shard_id)
+        row = shard.read(attr_key(pid))
+        if row is None:
+            raise NoSuchPathError(f"dir id {pid}")
+        attrs = row.value.copy()
+        attrs.link_count += link_delta
+        attrs.entry_count += entry_delta
+        self._bulk_execute(pid, [WriteIntent(
+            attr_key(pid), "update", attrs, expect_version=row.version)])
+
+    def bulk_mkdir(self, path: str) -> int:
+        """Install one directory without simulated cost (pre-population)."""
+        from repro.paths import normalize
+        path = normalize(path)
+        if path in self._bulk_dirs:
+            return self._bulk_dirs[path]
+        _parent_path, name, pid = self._bulk_parent(path)
+        dir_id = self.ids.next()
+        self._bulk_execute(pid, [WriteIntent(
+            dirent_key(pid, name), "insert",
+            Dirent(id=dir_id, kind=EntryKind.DIRECTORY))])
+        self._bulk_execute(dir_id, [WriteIntent(
+            attr_key(dir_id), "insert",
+            AttrMeta(id=dir_id, kind=EntryKind.DIRECTORY))])
+        self._bulk_bump_parent(pid, 1, 1)
+        for node in self.index_group.nodes.values():
+            node.state_machine.bulk_insert_dir(pid, name, dir_id)
+        self._bulk_dirs[path] = dir_id
+        return dir_id
+
+    def bulk_create(self, path: str, size: int = 0) -> int:
+        from repro.paths import normalize
+        path = normalize(path)
+        _parent_path, name, pid = self._bulk_parent(path)
+        obj_id = self.ids.next()
+        self._bulk_execute(pid, [WriteIntent(
+            dirent_key(pid, name), "insert",
+            Dirent(id=obj_id, kind=EntryKind.OBJECT,
+                   attrs=AttrMeta(id=obj_id, kind=EntryKind.OBJECT,
+                                  size=size)))])
+        self._bulk_bump_parent(pid, 0, 1)
+        return obj_id

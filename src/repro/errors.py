@@ -1,0 +1,121 @@
+"""Exception hierarchy shared by every metadata service in the reproduction.
+
+The paper's proxy layer surfaces a small set of error conditions to clients
+(missing path components, duplicate names, permission failures, rename loops
+and transaction aborts).  All four systems — Mantle and the three baselines —
+raise the same exception types so workloads and benchmarks can treat them
+uniformly.
+"""
+
+
+class MetadataError(Exception):
+    """Base class for every error raised by a metadata service."""
+
+
+class NoSuchPathError(MetadataError):
+    """A path component does not exist (ENOENT)."""
+
+    def __init__(self, path, component=None):
+        self.path = path
+        self.component = component
+        detail = f" (missing component {component!r})" if component else ""
+        super().__init__(f"no such path: {path!r}{detail}")
+
+
+class AlreadyExistsError(MetadataError):
+    """The target name already exists in its parent directory (EEXIST)."""
+
+    def __init__(self, path):
+        self.path = path
+        super().__init__(f"already exists: {path!r}")
+
+
+class NotADirectoryError(MetadataError):
+    """A non-final path component resolved to an object (ENOTDIR)."""
+
+    def __init__(self, path, component=None):
+        self.path = path
+        self.component = component
+        super().__init__(f"not a directory: {path!r} at {component!r}")
+
+
+class IsADirectoryError(MetadataError):
+    """An object operation targeted a directory (EISDIR)."""
+
+    def __init__(self, path):
+        self.path = path
+        super().__init__(f"is a directory: {path!r}")
+
+
+class NotEmptyError(MetadataError):
+    """rmdir on a directory that still has children (ENOTEMPTY)."""
+
+    def __init__(self, path):
+        self.path = path
+        super().__init__(f"directory not empty: {path!r}")
+
+
+class PermissionDeniedError(MetadataError):
+    """Aggregated path permission check failed (EACCES)."""
+
+    def __init__(self, path, needed):
+        self.path = path
+        self.needed = needed
+        super().__init__(f"permission denied on {path!r} (needed {needed!r})")
+
+
+class RenameLoopError(MetadataError):
+    """A dirrename would move a directory underneath itself."""
+
+    def __init__(self, src, dst):
+        self.src = src
+        self.dst = dst
+        super().__init__(f"rename loop: {src!r} -> {dst!r}")
+
+
+class InvalidPathError(MetadataError):
+    """Malformed path string (empty component, missing leading slash, ...)."""
+
+    def __init__(self, path, reason):
+        self.path = path
+        self.reason = reason
+        super().__init__(f"invalid path {path!r}: {reason}")
+
+
+class TransactionAbort(MetadataError):
+    """A (distributed) TafDB transaction aborted due to a conflict.
+
+    Proxies retry aborted transactions with backoff; the abort/retry rate is
+    the mechanism behind the contention collapse in Figure 4b and the win of
+    delta records in Figures 14-16.
+    """
+
+    def __init__(self, reason="conflict", key=None):
+        self.reason = reason
+        self.key = key
+        super().__init__(f"transaction aborted: {reason} (key={key!r})")
+
+
+class RenameLockConflict(MetadataError):
+    """Loop-detection found a directory already locked by another rename."""
+
+    def __init__(self, path):
+        self.path = path
+        super().__init__(f"rename lock conflict on {path!r}")
+
+
+class ServiceUnavailableError(MetadataError):
+    """Raft group has no leader / server crashed; caller should retry."""
+
+    def __init__(self, what="service"):
+        self.what = what
+        super().__init__(f"{what} temporarily unavailable")
+
+
+class StaleReadError(MetadataError):
+    """A replica could not serve a consistent read (applyIndex too old)."""
+
+    def __init__(self, needed, have):
+        self.needed = needed
+        self.have = have
+        super().__init__(f"stale replica: need applyIndex>={needed}, have {have}")

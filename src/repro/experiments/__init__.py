@@ -1,0 +1,38 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Each module reproduces one exhibit and registers itself in
+:data:`REGISTRY`; run them via ``mantle-exp run <id>`` or programmatically::
+
+    from repro.experiments import get_experiment
+    tables = get_experiment("fig12").run(scale="quick")
+
+``scale="quick"`` keeps runs laptop-fast; ``scale="full"`` uses larger
+client counts and namespaces (the shapes are the same, the statistics
+tighter).  EXPERIMENTS.md records paper-vs-measured for every exhibit.
+"""
+
+from repro.experiments.base import REGISTRY, Experiment, get_experiment, list_experiments
+
+# Importing the modules populates the registry.
+from repro.experiments import (  # noqa: E402,F401
+    ext_colocation,
+    ext_failover,
+    ext_rdma,
+    fig03_namespaces,
+    fig04_dbtable,
+    fig10_applications,
+    fig11_latency_cdf,
+    fig12_read_throughput,
+    fig13_read_breakdown,
+    fig14_dirmod_throughput,
+    fig15_dirmod_breakdown,
+    fig16_ablation,
+    fig17_depth,
+    fig18_cache_k,
+    fig19_scalability,
+    fig20_caching,
+    table1_rtts,
+    table3_production,
+)
+
+__all__ = ["REGISTRY", "Experiment", "get_experiment", "list_experiments"]

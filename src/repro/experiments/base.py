@@ -1,0 +1,86 @@
+"""Experiment registry and shared measurement helpers."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.cluster import build_system
+from repro.bench.harness import run_workload
+from repro.bench.report import Table
+from repro.sim.stats import MetricSet
+from repro.workloads.mdtest import MdtestWorkload
+
+#: Per-experiment client/item budgets by scale.
+SCALES = ("quick", "full")
+
+
+@dataclasses.dataclass(frozen=True)
+class Experiment:
+    """One reproduced exhibit (figure or table)."""
+
+    id: str
+    title: str
+    paper_claim: str
+    runner: Callable[[str], List[Table]]
+
+    def run(self, scale: str = "quick") -> List[Table]:
+        if scale not in SCALES:
+            raise ValueError(f"scale must be one of {SCALES}")
+        return self.runner(scale)
+
+
+REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(exp_id: str, title: str, paper_claim: str):
+    """Decorator registering a ``run(scale) -> List[Table]`` function."""
+    def decorate(func):
+        if exp_id in REGISTRY:
+            raise ValueError(f"duplicate experiment id {exp_id!r}")
+        REGISTRY[exp_id] = Experiment(exp_id, title, paper_claim, func)
+        return func
+    return decorate
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    if exp_id not in REGISTRY:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}")
+    return REGISTRY[exp_id]
+
+
+def list_experiments() -> List[Experiment]:
+    return [REGISTRY[key] for key in sorted(REGISTRY)]
+
+
+def pick(scale: str, quick, full):
+    """Select a parameter by scale."""
+    return quick if scale == "quick" else full
+
+
+def mdtest_metrics(system_name: str, op: str, mode: str = "exclusive",
+                   clients: int = 32, items: int = 10, depth: int = 10,
+                   scale: str = "quick", cluster_scale: Optional[str] = None,
+                   **build_overrides) -> MetricSet:
+    """Build a system, run one mdtest workload, tear down, return metrics."""
+    system = build_system(system_name, cluster_scale or "quick",
+                          **build_overrides)
+    try:
+        workload = MdtestWorkload(op, mode=mode, depth=depth, items=items,
+                                  num_clients=clients)
+        return run_workload(system, workload)
+    finally:
+        system.shutdown()
+
+
+def app_metrics(system_name: str, workload, data_access: bool = False,
+                cluster_scale: str = "quick",
+                **build_overrides) -> MetricSet:
+    """Run an application workload (Spark/Audio) on one system."""
+    system = build_system(system_name, cluster_scale, **build_overrides)
+    try:
+        system.data_access_enabled = data_access
+        return run_workload(system, workload)
+    finally:
+        system.shutdown()

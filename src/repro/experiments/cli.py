@@ -1,0 +1,81 @@
+"""``mantle-exp`` — run the paper's experiments from the command line.
+
+Usage::
+
+    mantle-exp list
+    mantle-exp run fig12 [--scale quick|full]
+    mantle-exp all [--scale quick|full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench.report import print_tables, table_to_jsonable
+from repro.experiments import get_experiment, list_experiments
+
+
+def _cmd_list(_args) -> int:
+    for experiment in list_experiments():
+        print(f"{experiment.id:8s} {experiment.title}")
+        print(f"{'':8s}   paper: {experiment.paper_claim}")
+    return 0
+
+
+def _run_one(exp_id: str, scale: str, json_path=None) -> None:
+    experiment = get_experiment(exp_id)
+    started = time.time()
+    tables = experiment.run(scale=scale)
+    header = (f"### {experiment.id}: {experiment.title} "
+              f"(scale={scale}, {time.time() - started:.1f}s wall)")
+    print_tables(tables, header=header)
+    if json_path:
+        payload = {
+            "experiment": experiment.id,
+            "title": experiment.title,
+            "paper_claim": experiment.paper_claim,
+            "scale": scale,
+            "tables": [table_to_jsonable(t) for t in tables],
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+        print(f"(wrote {json_path})")
+
+
+def _cmd_run(args) -> int:
+    _run_one(args.experiment, args.scale, json_path=args.json)
+    return 0
+
+
+def _cmd_all(args) -> int:
+    for experiment in list_experiments():
+        _run_one(experiment.id, args.scale)
+        print()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mantle-exp",
+        description="Reproduce the Mantle paper's tables and figures")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment")
+    run_parser.add_argument("--scale", choices=("quick", "full"),
+                            default="quick")
+    run_parser.add_argument("--json", metavar="PATH", default=None,
+                            help="also write the tables as JSON")
+    all_parser = sub.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--scale", choices=("quick", "full"),
+                            default="quick")
+    args = parser.parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Figure 11: latency CDFs of metadata operations inside the applications.
+
+Paper: in Analytics, InfiniFS's dirrename tail explodes under contention
+(10.6 % of operations above 5 s, peak 52 s) while Tectonic/LocoFS mkdir and
+dirrename curves nearly coincide; in Audio, InfiniFS's objstat distribution
+is broad (speculation variability) and Mantle's curves are tight and fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.cluster import SYSTEMS, build_system
+from repro.bench.harness import run_workload
+from repro.bench.report import Table
+from repro.experiments.base import pick, register
+from repro.workloads.audio import AudioPreprocessWorkload
+from repro.workloads.spark import SparkAnalyticsWorkload
+
+_PERCENTILES = (50, 90, 99, 100)
+
+
+def _collect(system_name: str, workload) -> Dict[str, object]:
+    system = build_system(system_name, "quick")
+    try:
+        return run_workload(system, workload).latency
+    finally:
+        system.shutdown()
+
+
+@register("fig11", "Latency CDFs of application metadata operations",
+          "contended dirrename has extreme tails in baselines; Mantle's "
+          "distributions are tight")
+def run(scale: str = "quick") -> List[Table]:
+    clients = pick(scale, 24, 64)
+    tables = []
+
+    spark_ops = ("mkdir", "dirrename")
+    spark_table = Table(
+        "Figure 11a/11b: Analytics op latency percentiles (us)",
+        ["op", "system"] + [f"p{p}" for p in _PERCENTILES] +
+        ["frac > 10x median"])
+    for system_name in SYSTEMS:
+        latencies = _collect(system_name, SparkAnalyticsWorkload(
+            num_clients=clients, parts_per_task=2, rounds=pick(scale, 3, 6)))
+        for op in spark_ops:
+            recorder = latencies.get(op)
+            if recorder is None:
+                continue
+            median = recorder.p50
+            spark_table.add_row(
+                op, system_name,
+                *[round(recorder.p(p), 1) for p in _PERCENTILES],
+                round(recorder.fraction_above(10 * median), 3))
+    spark_table.add_note("paper: 10.6% of InfiniFS dirrenames exceed 5s; "
+                         "the tail-mass column is the scaled analogue")
+    tables.append(spark_table)
+
+    audio_ops = ("objstat", "readdir")
+    audio_table = Table(
+        "Figure 11c/11d: Audio op latency percentiles (us)",
+        ["op", "system"] + [f"p{p}" for p in _PERCENTILES] +
+        ["spread p99/p50"])
+    for system_name in SYSTEMS:
+        latencies = _collect(system_name, AudioPreprocessWorkload(
+            num_clients=clients, segments=pick(scale, 8, 16)))
+        for op in audio_ops:
+            recorder = latencies.get(op)
+            if recorder is None:
+                continue
+            spread = recorder.p99 / recorder.p50 if recorder.p50 else 0.0
+            audio_table.add_row(
+                op, system_name,
+                *[round(recorder.p(p), 1) for p in _PERCENTILES],
+                round(spread, 2))
+    audio_table.add_note("paper: InfiniFS shows the broadest objstat "
+                         "distribution, Mantle the tightest/fastest")
+    tables.append(audio_table)
+    return tables

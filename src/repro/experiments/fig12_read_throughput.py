@@ -1,0 +1,46 @@
+"""Figure 12: throughput of object operations and directory reads.
+
+Paper ordering (worst to best) for create/delete/objstat/dirstat:
+Tectonic < InfiniFS (+0.19-0.37x) < LocoFS (+0.32-0.83x over InfiniFS)
+< Mantle; overall Mantle's speedups are 2.49-4.30x over Tectonic,
+1.96-3.44x over InfiniFS and 1.07-2.50x over LocoFS, with create the
+closest race against LocoFS.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.cluster import SYSTEMS
+from repro.bench.report import Table, ratio
+from repro.experiments.base import mdtest_metrics, pick, register
+
+OPS = ("create", "delete", "objstat", "dirstat")
+
+
+@register("fig12", "Throughput of object ops and directory reads",
+          "Tectonic < InfiniFS < LocoFS < Mantle; Mantle 2.49-4.30x over "
+          "Tectonic")
+def run(scale: str = "quick") -> List[Table]:
+    clients = pick(scale, 64, 192)
+    items = pick(scale, 12, 30)
+    table = Table(
+        "Figure 12: throughput (Kop/s), depth-10 paths",
+        ["op"] + list(SYSTEMS) + ["mantle/tectonic", "mantle/infinifs",
+                                  "mantle/locofs"])
+    for op in OPS:
+        throughput = {}
+        for system_name in SYSTEMS:
+            metrics = mdtest_metrics(system_name, op, clients=clients,
+                                     items=items)
+            throughput[system_name] = metrics.throughput_kops()
+        table.add_row(
+            op,
+            *[round(throughput[s], 1) for s in SYSTEMS],
+            round(ratio(throughput["mantle"], throughput["tectonic"]), 2),
+            round(ratio(throughput["mantle"], throughput["infinifs"]), 2),
+            round(ratio(throughput["mantle"], throughput["locofs"]), 2))
+    table.add_note("paper speedups: 2.49-4.30x (Tectonic), 1.96-3.44x "
+                   "(InfiniFS), 1.07-2.50x (LocoFS); create is the closest "
+                   "race against LocoFS")
+    return [table]

@@ -1,0 +1,46 @@
+"""Figure 15: latency breakdown of directory modifications.
+
+Paper: Tectonic slightly better execution / InfiniFS slightly better lookup
+in mkdir-e; loop detection appears only for dirrename and only in
+InfiniFS/LocoFS/Mantle (relaxed Tectonic skips it); Mantle records zero
+lookup time in dirrename because resolution is merged with loop detection.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.cluster import SYSTEMS
+from repro.bench.report import Table
+from repro.experiments.base import mdtest_metrics, pick, register
+from repro.sim.stats import PHASE_EXECUTION, PHASE_LOOKUP, PHASE_LOOP_DETECT
+
+CASES = (("mkdir", "exclusive"), ("mkdir", "shared"),
+         ("dirrename", "exclusive"), ("dirrename", "shared"))
+
+
+@register("fig15", "Latency breakdown of directory modifications",
+          "loop detection only for renames (not Tectonic); Mantle merges "
+          "rename lookup into loop detection")
+def run(scale: str = "quick") -> List[Table]:
+    clients = pick(scale, 48, 128)
+    items = pick(scale, 8, 20)
+    table = Table(
+        "Figure 15: mean per-phase latency (us)",
+        ["case", "system", "lookup", "loop detect", "execution", "total"])
+    for op, mode in CASES:
+        suffix = "-s" if mode == "shared" else "-e"
+        for system_name in SYSTEMS:
+            metrics = mdtest_metrics(system_name, op, mode=mode,
+                                     clients=clients, items=items)
+            phases = metrics.phase_breakdown(op)
+            table.add_row(
+                f"{op}{suffix}", system_name,
+                round(phases[PHASE_LOOKUP], 1),
+                round(phases[PHASE_LOOP_DETECT], 1),
+                round(phases[PHASE_EXECUTION], 1),
+                round(metrics.mean_latency_us(op), 1))
+    table.add_note("Mantle dirrename: lookup column is 0 by construction "
+                   "(merged with loop detection); Tectonic has no loop "
+                   "detection (relaxed consistency)")
+    return [table]

@@ -1,0 +1,49 @@
+"""Table 1: RTTs required for one lookup, per technique.
+
+Paper: DBtable/metadata caching approaches need ``pathlen`` RTTs, parallel
+resolving between 1 and ``pathlen`` (7.4 in practice at 512 threads for a
+10-level path), tiering and Mantle a single RTT.  We *measure* the RPC
+rounds a depth-10 objstat lookup actually performs in each system.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bench.cluster import SYSTEMS
+from repro.bench.report import Table
+from repro.experiments.base import mdtest_metrics, pick, register
+
+#: The paper's analytic RTT count for a depth-`n` lookup.
+ANALYTIC = {
+    "tectonic": "pathlen",
+    "infinifs": "[1, pathlen] (parallel rounds)",
+    "locofs": "single (dir server)",
+    "mantle": "single",
+}
+
+
+@register("table1", "RTT rounds per lookup",
+          "pathlen RTTs for DBtable, single RTT for tiering and Mantle")
+def run(scale: str = "quick") -> List[Table]:
+    clients = pick(scale, 32, 96)
+    items = pick(scale, 10, 24)
+    depth = 10
+    table = Table(
+        "Table 1: measured RPC rounds for a depth-10 objstat",
+        ["system", "mean RPCs (whole op)", "lookup-phase share of latency",
+         "paper analytic"])
+    for system_name in SYSTEMS:
+        metrics = mdtest_metrics(system_name, "objstat", depth=depth,
+                                 clients=clients, items=items)
+        lookup = metrics.phase_breakdown("objstat")["lookup"]
+        total = metrics.mean_latency_us("objstat")
+        table.add_row(
+            system_name,
+            round(metrics.mean_rpcs("objstat"), 1),
+            round(lookup / total, 2) if total else 0,
+            ANALYTIC[system_name])
+    table.add_note("InfiniFS issues its per-level reads in ONE parallel "
+                   "round, so rounds != RPC count; Mantle/LocoFS pay one "
+                   "resolution RPC plus the execution-phase DB read")
+    return [table]

@@ -1,0 +1,183 @@
+"""IndexNode RPC surface: lookups, rename preparation, mutation proposals.
+
+One :class:`IndexNodeService` wraps each Raft replica.  Lookups are served
+by any replica (followers and learners run the §5.1.3 commitIndex barrier
+first); mutations and rename coordination go to the leader, which proposes
+commands through Raft and awaits the applied result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.errors import (
+    AlreadyExistsError,
+    NoSuchPathError,
+    RenameLockConflict,
+)
+from repro.indexnode.state import IndexNodeState, LookupOutcome
+from repro.paths import normalize
+from repro.raft.node import NotLeaderError, RaftNode
+from repro.sim.core import Interrupt
+from repro.sim.host import CostModel, Host
+from repro.sim.network import Server
+from repro.types import Permission
+
+
+@dataclasses.dataclass(frozen=True)
+class RenamePrep:
+    """What rename preparation (Figure 9 steps 1-7) hands back to the proxy."""
+
+    src_pid: int
+    src_name: str
+    src_id: int
+    src_path: str
+    dst_parent_id: int
+    dst_name: str
+    permission: Permission
+    loop_probes: int
+
+
+class IndexNodeService(Server):
+    """RPC endpoint for one IndexNode replica."""
+
+    def __init__(self, host: Host, node: RaftNode, state: IndexNodeState,
+                 costs: CostModel, purge_period_us: float = 200.0,
+                 start_purger: bool = True):
+        super().__init__(host)
+        self.node = node
+        self.state = state
+        self.costs = costs
+        self.purge_period_us = purge_period_us
+        self.lookups_served = 0
+        self._purger = None
+        if start_purger:
+            self._purger = host.sim.process(
+                self._purge_loop(), name=f"invalidator-{host.name}")
+
+    # -- background invalidation (§5.1.2) ---------------------------------------
+
+    def _purge_loop(self):
+        try:
+            while True:
+                yield self.sim.timeout(self.purge_period_us)
+                if self.host.crashed:
+                    continue
+                removed = self.state.invalidator.purge_pending()
+                if removed:
+                    # Range-scan + hash removals are cheap per entry.
+                    yield from self.host.work(0.5 * removed)
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        if self._purger is not None:
+            self._purger.interrupt("stop")
+            self._purger = None
+
+    # -- lookups (Figure 7) ---------------------------------------------------------
+
+    def _charge_lookup(self, outcome: LookupOutcome):
+        cost = (outcome.index_probes * self.costs.index_probe_us
+                + outcome.cache_probes * self.costs.cache_hit_us
+                + outcome.depth * self.costs.permission_check_us)
+        yield from self.host.work(cost)
+
+    def rpc_lookup(self, path: str, want: str = "parent"):
+        """Single-RPC path resolution; serves on leader or replica."""
+        yield from self.host.work(self.costs.index_rpc_overhead_us)
+        if not self.node.is_leader:
+            # §5.1.3: commitIndex barrier keeps replica reads consistent.
+            yield from self.node.read_barrier()
+        outcome = self.state.lookup(path, want)
+        yield from self._charge_lookup(outcome)
+        self.lookups_served += 1
+        return outcome
+
+    # -- rename coordination (Figure 9, §5.2.2) ------------------------------------------
+
+    def rpc_rename_prepare(self, src_path: str, dst_path: str, owner: str):
+        """Steps 1-7 of the cross-directory rename workflow: resolve both
+        paths, lock the source via a Raft-replicated lock bit, and run loop
+        detection locally — all in one RPC from the proxy.
+
+        ``owner`` is the client-generated rename UUID; a retried request
+        recognises its own lock (§5.3 idempotence).
+        """
+        yield from self.host.work(self.costs.index_rpc_overhead_us)
+        if not self.node.is_leader:
+            raise NotLeaderError(self.node.leader_hint)
+        state = self.state
+        src_parent = state.lookup(src_path, want="parent")
+        yield from self._charge_lookup(src_parent)
+        src_meta = state.table.get(src_parent.target_id, src_parent.final_name)
+        if src_meta is None:
+            raise NoSuchPathError(src_path, src_parent.final_name)
+        dst_parent = state.lookup(dst_path, want="parent")
+        yield from self._charge_lookup(dst_parent)
+
+        # Loop detection before locking: moving src under its own subtree.
+        chain = state.table.ancestor_chain(dst_parent.target_id)
+        yield from self.host.work(len(chain) * self.costs.index_probe_us)
+        state.table.check_rename_loop(src_meta.id, dst_parent.target_id)
+
+        # Step 4+5: RemovalList insert + lock bit, replicated through Raft.
+        src_full = normalize(src_path)
+        result = yield self.node.propose(
+            ("rename_lock", src_parent.target_id, src_parent.final_name,
+             owner, src_full))
+        status = result[0]
+        if status == "missing":
+            raise NoSuchPathError(src_path)
+        if status == "locked":
+            raise RenameLockConflict(src_full)
+
+        # Step 6: check lock bits from the LCA down to the destination.
+        src_chain = set(state.table.ancestor_chain(src_meta.id))
+        lca = next(d for d in chain if d in src_chain)
+        locked = state.table.locked_on_chain(dst_parent.target_id, lca)
+        locked = [d for d in locked if d != src_meta.id]
+        yield from self.host.work(
+            max(1, len(chain)) * self.costs.index_probe_us)
+        if locked:
+            # Conflict with another in-flight rename: release and retry.
+            yield self.node.propose(
+                ("rename_abort", src_parent.target_id,
+                 src_parent.final_name, owner, src_full))
+            raise RenameLockConflict(state.table.path_of(locked[0]))
+
+        return RenamePrep(
+            src_pid=src_parent.target_id,
+            src_name=src_parent.final_name,
+            src_id=src_meta.id,
+            src_path=src_full,
+            dst_parent_id=dst_parent.target_id,
+            dst_name=dst_parent.final_name,
+            permission=src_parent.permission & dst_parent.permission,
+            loop_probes=len(chain),
+        )
+
+    # -- replicated mutations ------------------------------------------------------------
+
+    def rpc_mutate(self, command: Tuple):
+        """Propose one state-machine command and await its applied result."""
+        yield from self.host.work(self.costs.index_rpc_overhead_us)
+        if not self.node.is_leader:
+            raise NotLeaderError(self.node.leader_hint)
+        result = yield self.node.propose(command)
+        return self._translate(command, result)
+
+    @staticmethod
+    def _translate(command: Tuple, result: Tuple):
+        status = result[0]
+        if status == "ok":
+            return result[1]
+        detail = f"{command[0]}:{command[1:]}"
+        if status == "exists":
+            raise AlreadyExistsError(detail)
+        if status == "missing":
+            raise NoSuchPathError(detail)
+        if status == "locked":
+            raise RenameLockConflict(detail)
+        raise RuntimeError(f"indexnode apply failed: {result!r}")

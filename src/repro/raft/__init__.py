@@ -1,0 +1,37 @@
+"""Raft consensus for IndexNode replication (§4, §5.1.3, §5.2.3).
+
+A from-scratch Raft implementation over the DES substrate: leader election,
+log replication with consistency checks, commit on voter majority, plus the
+two paper-specific extensions —
+
+* **log batching** (§5.2.3): the leader aggregates proposals inside a small
+  window and persists them with a single fsync, amortising the durable-write
+  cost that otherwise caps directory-modification throughput;
+* **follower / learner reads** (§5.1.3): replicas serve lookups after a
+  commitIndex barrier against the leader (queries are piggybacked/batched),
+  waiting until their local applyIndex catches up to avoid stale reads.
+"""
+
+from repro.raft.log import LogEntry, RaftLog
+from repro.raft.messages import (
+    AppendEntries,
+    AppendReply,
+    RequestVote,
+    VoteReply,
+)
+from repro.raft.node import NotLeaderError, RaftConfig, RaftNode, Role
+from repro.raft.group import RaftGroup
+
+__all__ = [
+    "LogEntry",
+    "RaftLog",
+    "RequestVote",
+    "VoteReply",
+    "AppendEntries",
+    "AppendReply",
+    "RaftNode",
+    "RaftConfig",
+    "Role",
+    "NotLeaderError",
+    "RaftGroup",
+]

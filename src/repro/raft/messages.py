@@ -1,0 +1,64 @@
+"""Raft RPC messages (sent asynchronously through mailbox Stores)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from repro.raft.log import LogEntry
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestVote:
+    term: int
+    candidate_id: int
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclasses.dataclass(frozen=True)
+class VoteReply:
+    term: int
+    voter_id: int
+    granted: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class AppendEntries:
+    term: int
+    leader_id: int
+    prev_index: int
+    prev_term: int
+    entries: Tuple[LogEntry, ...]
+    leader_commit: int
+
+    @property
+    def is_heartbeat(self) -> bool:
+        return not self.entries
+
+
+@dataclasses.dataclass(frozen=True)
+class AppendReply:
+    term: int
+    follower_id: int
+    success: bool
+    match_index: int
+
+
+@dataclasses.dataclass(frozen=True)
+class InstallSnapshot:
+    """Ship a full state-machine snapshot to a replica whose next entry has
+    been compacted away (Raft §7)."""
+
+    term: int
+    leader_id: int
+    last_index: int
+    last_term: int
+    blob: object
+
+
+@dataclasses.dataclass(frozen=True)
+class SnapshotReply:
+    term: int
+    follower_id: int
+    last_index: int

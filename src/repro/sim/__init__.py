@@ -1,0 +1,34 @@
+"""From-scratch discrete-event simulation (DES) substrate.
+
+The paper evaluates Mantle on a 53-server cluster; this package is the
+laptop-scale substitute.  It provides a generator-coroutine event loop
+(:mod:`repro.sim.core`), capacity resources and mailboxes
+(:mod:`repro.sim.resources`), an RTT-charged network and CPU/disk host model
+(:mod:`repro.sim.network`, :mod:`repro.sim.host`) and measurement helpers
+(:mod:`repro.sim.stats`).  All simulated time is in microseconds.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+    "Resource",
+    "Store",
+]

@@ -1,0 +1,365 @@
+"""Generator-coroutine discrete-event simulation kernel.
+
+A *process* is a Python generator that yields :class:`Event` objects; the
+kernel resumes it with the event's value once the event triggers.  Composite
+waits use :class:`AnyOf` / :class:`AllOf`.  The design follows the classic
+SimPy execution model but is implemented from scratch (no third-party
+dependency) and trimmed to what the Mantle reproduction needs: timeouts,
+one-shot events, process join, interrupts for failure injection, and strict
+determinism (FIFO tie-breaking on equal timestamps).
+
+Time is a float in simulated microseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+_PENDING = object()
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation itself is misused (not a modelled failure)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Used for failure injection (killing a server loop) and for cancelling
+    timers (Raft election timeouts).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* once :meth:`succeed` or :meth:`fail` is called,
+    and *processed* once the kernel has delivered it to all callbacks.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() needs an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self)
+        return self
+
+    def defused(self) -> "Event":
+        """Mark a failed event as handled so it won't crash the simulation."""
+        self._defused = True
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` microseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._enqueue(self, delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("timeouts trigger themselves")
+
+
+class Process(Event):
+    """Wraps a generator and drives it; the process *is* an event that
+    triggers with the generator's return value (so processes can be joined
+    by yielding them)."""
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process body must be a generator, got {generator!r}")
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off at the current simulation time.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        ev = Event(self.sim)
+        ev._ok = False
+        ev._value = Interrupt(cause)
+        ev._defused = True
+        ev.callbacks.append(self._resume)
+        self.sim._enqueue(ev)
+
+    def _resume(self, trigger: Event) -> None:
+        if self.triggered:
+            return  # interrupted-and-finished race
+        # Detach from whatever we were waiting on.
+        waited = self._waiting_on
+        self._waiting_on = None
+        if waited is not None and waited is not trigger and waited.callbacks is not None:
+            try:
+                waited.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self.sim._active_process = self
+        try:
+            if trigger._ok:
+                target = self._generator.send(trigger._value)
+            else:
+                trigger._defused = True
+                target = self._generator.throw(trigger._value)
+        except StopIteration as stop:
+            self._finish(True, stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - modelled failure path
+            self._finish(False, exc)
+            return
+        finally:
+            self.sim._active_process = None
+        if not isinstance(target, Event):
+            kind = type(target).__name__
+            self._generator.close()
+            self._finish(
+                False,
+                SimulationError(
+                    f"process {self.name!r} yielded a {kind}; processes must "
+                    "yield Event instances (use 'yield from' for sub-generators)"
+                ),
+            )
+            return
+        if target.sim is not self.sim:
+            self._finish(False, SimulationError("yielded event from another simulator"))
+            return
+        self._waiting_on = target
+        if target.callbacks is None:
+            # Already processed: resume immediately (same timestamp).
+            ev = Event(self.sim)
+            ev._ok = target._ok
+            ev._value = target._value
+            if not target._ok:
+                target._defused = True
+                ev._defused = True
+            ev.callbacks.append(self._resume)
+            self.sim._enqueue(ev)
+        else:
+            target.callbacks.append(self._resume)
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        self._ok = ok
+        self._value = value
+        self.sim._enqueue(self)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("mixing events from different simulators")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has triggered; value is their values.
+
+    Fails fast if any child fails (remaining children are abandoned).
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([ev._value for ev in self.events])
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as one child triggers; value is (index, value)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed((self.events.index(event), event._value))
+
+
+class Simulator:
+    """The event loop.
+
+    >>> sim = Simulator()
+    >>> def hello():
+    ...     yield sim.timeout(5)
+    ...     return sim.now
+    >>> proc = sim.process(hello())
+    >>> sim.run()
+    >>> proc.value
+    5.0
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- event factories --------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def _step(self) -> None:
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif not event._ok and not event._defused:
+            # A failed event nobody handled: surface the error loudly
+            # instead of silently dropping a crashed process.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the queue drains or ``until`` is reached."""
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = float(until)
+                return
+            self._step()
+        if until is not None and until > self._now:
+            self._now = float(until)
+
+    def run_until(self, event: Event) -> None:
+        """Process events until ``event`` triggers (or the queue drains).
+
+        Unlike :meth:`run`, this lets callers wait for one process while
+        perpetual background processes (compactors, Raft heartbeats) keep
+        the queue non-empty.
+        """
+        while not event.triggered and self._queue:
+            self._step()
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Convenience: spawn a process, run until it completes, return its
+        value.
+
+        Used by the synchronous facade (:class:`repro.core.api.MantleClient`)
+        to hide the event loop from library users.
+        """
+        proc = self.process(generator, name)
+        self.run_until(proc)
+        if not proc.triggered:
+            raise SimulationError(f"process {proc.name!r} deadlocked")
+        if not proc.ok:
+            # The caller is handling the failure; don't let the queued
+            # process event crash a later run() pass.
+            proc.defused()
+            raise proc.value
+        return proc.value

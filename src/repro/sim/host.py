@@ -1,0 +1,152 @@
+"""Simulated servers: CPU cores and fsync-charged disks.
+
+Each metadata server in the paper's Table 2 deployment becomes a
+:class:`Host` with a finite core count.  Service logic charges CPU through
+:meth:`Host.work`, which occupies one core for the given number of simulated
+microseconds — this is what makes a single IndexNode saturate (Figure 19b)
+and what makes LocoFS's central directory server the bottleneck the paper
+describes.
+
+The :class:`CostModel` gathers every constant in one place so experiments
+(and tests) can build deliberately skewed models.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ServiceUnavailableError
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource
+
+
+@dataclasses.dataclass
+class CostModel:
+    """All simulated costs, in microseconds.
+
+    The defaults are loosely calibrated to a 25 Gbps datacenter network and
+    NVMe-backed servers, matching the ratios (not the absolutes) that drive
+    the paper's results: an RPC round trip is ~2 orders of magnitude more
+    expensive than a local hash probe, and an fsync is comparable to an RTT.
+    """
+
+    #: One-way network latency (RTT = 2x).
+    net_one_way_us: float = 50.0
+    #: Read one row from a TafDB shard (request handling + B-tree probe).
+    db_row_read_us: float = 25.0
+    #: Write one row (index update + WAL append, group-committed).
+    db_row_write_us: float = 50.0
+    #: Fixed per-transaction bookkeeping on a shard.
+    db_txn_overhead_us: float = 20.0
+    #: Effective durable-commit cost per TafDB commit (group-committed WAL).
+    db_commit_sync_us: float = 40.0
+    #: One level of IndexTable probing on the IndexNode.
+    index_probe_us: float = 8.0
+    #: One TopDirPathCache hit (single hash probe).
+    cache_hit_us: float = 2.0
+    #: Fixed request handling (parse/dispatch/marshal) per IndexNode RPC —
+    #: the dominant CPU term that makes a single IndexNode saturate (§7
+    #: measures ~500K ops/s/node, i.e. ~100us of CPU per op on 64 cores).
+    index_rpc_overhead_us: float = 30.0
+    #: Durable fsync of a Raft log segment.
+    fsync_us: float = 120.0
+    #: Applying one committed Raft entry to the state machine.
+    raft_apply_us: float = 1.0
+    #: Raft replication message handling (append-entries processing).
+    raft_msg_us: float = 2.0
+    #: Proxy request parsing/marshalling per client request.
+    proxy_overhead_us: float = 2.0
+    #: Per-level permission intersection.
+    permission_check_us: float = 0.3
+    #: Base/ceiling for exponential backoff after a transaction abort.
+    backoff_base_us: float = 200.0
+    backoff_max_us: float = 20000.0
+    #: Data-service access for one small object (§3: single RPC + tens of us
+    #: of SSD device time).
+    data_io_small_us: float = 80.0
+
+    def copy(self, **overrides) -> "CostModel":
+        return dataclasses.replace(self, **overrides)
+
+
+class Host:
+    """A simulated server with ``cores`` CPU cores and one durable disk."""
+
+    def __init__(self, sim: Simulator, name: str, cores: int = 32,
+                 fsync_us: float = 120.0):
+        self.sim = sim
+        self.name = name
+        self.cores = cores
+        self.cpu = Resource(sim, cores)
+        self.disk = Resource(sim, 1)
+        self.fsync_us = fsync_us
+        self.fsync_count = 0
+        self.cpu_busy_us = 0.0
+        self.crashed = False
+
+    def __repr__(self):
+        return f"<Host {self.name} cores={self.cores}>"
+
+    def work(self, us: float):
+        """Occupy one CPU core for ``us`` simulated microseconds.
+
+        Raises :class:`ServiceUnavailableError` if the host has been crashed
+        by failure injection.
+        """
+        if self.crashed:
+            raise ServiceUnavailableError(self.name)
+        req = self.cpu.request()
+        yield req
+        try:
+            yield self.sim.timeout(us)
+            self.cpu_busy_us += us
+        finally:
+            self.cpu.release(req)
+        if self.crashed:
+            raise ServiceUnavailableError(self.name)
+
+    def fsync(self, amortized_over: int = 1):
+        """Charge one durable flush, optionally amortised across a batch.
+
+        Raft log batching submits many entries under a single fsync; the
+        caller passes the batch size so per-entry accounting stays honest.
+        """
+        if self.crashed:
+            raise ServiceUnavailableError(self.name)
+        req = self.disk.request()
+        yield req
+        try:
+            yield self.sim.timeout(self.fsync_us)
+            self.fsync_count += 1
+        finally:
+            self.disk.release(req)
+
+    def fsync_cost(self, us: float):
+        """Charge a caller-specified durable-write cost on the disk.
+
+        TafDB's group-committed WAL writes are cheaper than a full Raft log
+        segment fsync, so callers pass their own duration here; plain
+        :meth:`fsync` uses the host default.
+        """
+        if self.crashed:
+            raise ServiceUnavailableError(self.name)
+        req = self.disk.request()
+        yield req
+        try:
+            yield self.sim.timeout(us)
+            self.fsync_count += 1
+        finally:
+            self.disk.release(req)
+
+    def crash(self) -> None:
+        """Failure injection: subsequent work on this host fails."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        self.crashed = False
+
+    def utilization(self, elapsed_us: float) -> float:
+        """Fraction of total core-time spent busy over ``elapsed_us``."""
+        if elapsed_us <= 0:
+            return 0.0
+        return self.cpu_busy_us / (elapsed_us * self.cores)

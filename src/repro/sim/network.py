@@ -1,0 +1,104 @@
+"""RTT-charged request/response RPC and the server dispatch base class.
+
+An RPC charges one-way latency each direction; the handler body runs inline
+in the calling process (request/response semantics) but charges the *target
+host's* CPU via ``host.work``, so server-side queueing delays are modelled
+faithfully.  Asynchronous messaging (Raft) uses :class:`repro.sim.resources.Store`
+mailboxes instead.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional
+
+from repro.errors import ServiceUnavailableError
+from repro.sim.core import Simulator
+from repro.sim.host import Host
+from repro.sim.stats import OpContext
+
+
+class Network:
+    """Shared cluster fabric with a fixed one-way latency (optional jitter)."""
+
+    def __init__(self, sim: Simulator, one_way_us: float = 50.0,
+                 jitter_frac: float = 0.0, seed: int = 7):
+        self.sim = sim
+        self.one_way_us = one_way_us
+        self.jitter_frac = jitter_frac
+        self._rng = random.Random(seed)
+        self.rpc_count = 0
+        self.message_count = 0
+
+    def _sample_one_way(self) -> float:
+        if self.jitter_frac <= 0:
+            return self.one_way_us
+        spread = self.one_way_us * self.jitter_frac
+        return max(1.0, self.one_way_us + self._rng.uniform(-spread, spread))
+
+    def transit(self):
+        """One-way message flight."""
+        self.message_count += 1
+        yield self.sim.timeout(self._sample_one_way())
+
+    def rpc(self, server: "Server", method: str, *args,
+            ctx: Optional[OpContext] = None, **kwargs):
+        """Request/response round trip to ``server``.
+
+        Counts one RPC round on the network and on ``ctx`` when provided —
+        the counter behind the Table 1 RTT comparison.
+        """
+        self.rpc_count += 1
+        if ctx is not None:
+            ctx.rpcs += 1
+        yield from self.transit()
+        try:
+            result = yield from server.dispatch(method, args, kwargs)
+        finally:
+            # The response (or error) still has to fly back.
+            yield from self.transit()
+        return result
+
+
+class Server:
+    """Base class for simulated services addressed by RPC.
+
+    Subclasses implement handler generators named ``rpc_<method>``.  Handlers
+    charge CPU on ``self.host`` explicitly at the points where real work
+    happens.
+    """
+
+    def __init__(self, host: Host):
+        self.host = host
+
+    @property
+    def sim(self) -> Simulator:
+        return self.host.sim
+
+    def dispatch(self, method: str, args: tuple, kwargs: dict):
+        if self.host.crashed:
+            raise ServiceUnavailableError(self.host.name)
+        handler = getattr(self, "rpc_" + method, None)
+        if handler is None:
+            raise AttributeError(f"{type(self).__name__} has no RPC {method!r}")
+        result = yield from handler(*args, **kwargs)
+        return result
+
+
+class LoadBalancer:
+    """Round-robin picker over a set of peer servers (the stateless proxy
+    fleet, or DB shard replicas)."""
+
+    def __init__(self, servers):
+        self._servers = list(servers)
+        if not self._servers:
+            raise ValueError("load balancer needs at least one server")
+        self._next = 0
+
+    def pick(self) -> Any:
+        server = self._servers[self._next % len(self._servers)]
+        self._next += 1
+        return server
+
+    def all(self):
+        return list(self._servers)

@@ -1,0 +1,137 @@
+"""Capacity resources and mailboxes for the DES kernel.
+
+:class:`Resource` models a pool of identical servers' CPU cores, a disk's
+single write head, or a latch: ``capacity`` concurrent holders, FIFO queueing.
+:class:`Store` is an unbounded FIFO mailbox used for asynchronous message
+passing (Raft RPCs, background compaction queues).
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Any, Deque, List
+
+from repro.sim.core import Event, SimulationError, Simulator
+
+
+class Request(Event):
+    """Pending acquisition of a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "_enqueue_time")
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self._enqueue_time = resource.sim.now
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request (e.g. on interrupt)."""
+        if not self.triggered:
+            try:
+                self.resource._waiting.remove(self)
+            except ValueError:
+                pass
+
+
+class Resource:
+    """FIFO capacity resource.
+
+    Usage from a process::
+
+        req = cpu.request()
+        yield req
+        try:
+            yield sim.timeout(cost)
+        finally:
+            cpu.release(req)
+    """
+
+    def __init__(self, sim: Simulator, capacity: int):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: Deque[Request] = collections.deque()
+        # Observability: peak concurrent holders and total waits, used by the
+        # bench harness to report CPU saturation.
+        self.peak_in_use = 0
+        self.total_grants = 0
+        self.total_wait_time = 0.0
+        self._grant_times = {}
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        req = Request(self)
+        if self._in_use < self.capacity:
+            self._grant(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        if not request.triggered:
+            # Never granted: just withdraw it.
+            request.cancel()
+            return
+        if request not in self._grant_times:
+            raise SimulationError("release of a request that is not held")
+        del self._grant_times[request]
+        self._in_use -= 1
+        while self._waiting and self._in_use < self.capacity:
+            nxt = self._waiting.popleft()
+            waited = self.sim.now - getattr(nxt, "_enqueue_time", self.sim.now)
+            self.total_wait_time += waited
+            self._grant(nxt)
+
+    def _grant(self, req: Request) -> None:
+        self._in_use += 1
+        self.total_grants += 1
+        self.peak_in_use = max(self.peak_in_use, self._in_use)
+        self._grant_times[req] = self.sim.now
+        req.succeed()
+
+
+class Store:
+    """Unbounded FIFO mailbox.
+
+    ``put`` never blocks; ``get`` returns an event that triggers with the
+    oldest item (immediately if one is queued).
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._items: Deque[Any] = collections.deque()
+        self._getters: Deque[Event] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def drain(self) -> List[Any]:
+        """Take every queued item without waiting (used by batch consumers)."""
+        items = list(self._items)
+        self._items.clear()
+        return items

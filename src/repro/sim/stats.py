@@ -1,0 +1,220 @@
+"""Measurement plumbing: latency recorders, CDFs, phase breakdowns.
+
+The paper reports three views of performance and this module supports all of
+them:
+
+* throughput (ops completed / simulated wall time) — Figures 12, 14, 19;
+* latency distributions and CDFs — Figure 11, 17, 18;
+* per-phase latency breakdown into lookup / loop-detection / execution —
+  Figures 4a, 13, 15.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Canonical phase names used by every system so breakdowns line up.
+PHASE_LOOKUP = "lookup"
+PHASE_LOOP_DETECT = "loop_detect"
+PHASE_EXECUTION = "execution"
+PHASES = (PHASE_LOOKUP, PHASE_LOOP_DETECT, PHASE_EXECUTION)
+
+
+def percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile of an ascending-sorted sequence."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = rank - lo
+    return float(sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac)
+
+
+class LatencyRecorder:
+    """Accumulates latency samples for one (operation, phase) stream."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"negative latency sample: {value}")
+        self._samples.append(value)
+        self._sorted = None
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def _ensure_sorted(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    def p(self, pct: float) -> float:
+        if not self._samples:
+            return 0.0
+        return percentile(self._ensure_sorted(), pct)
+
+    @property
+    def p50(self) -> float:
+        return self.p(50)
+
+    @property
+    def p99(self) -> float:
+        return self.p(99)
+
+    def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
+        """Return ``points`` (latency, cumulative fraction) pairs."""
+        data = self._ensure_sorted()
+        if not data:
+            return []
+        out = []
+        for i in range(1, points + 1):
+            frac = i / points
+            idx = min(len(data) - 1, max(0, int(math.ceil(frac * len(data))) - 1))
+            out.append((data[idx], frac))
+        return out
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of samples strictly above ``threshold`` (tail mass)."""
+        if not self._samples:
+            return 0.0
+        data = self._ensure_sorted()
+        idx = bisect.bisect_right(data, threshold)
+        return (len(data) - idx) / len(data)
+
+
+class OpContext:
+    """Per-operation measurement context threaded through orchestration code.
+
+    Records RPC rounds (Table 1), retries, and phase timings.  Phase usage::
+
+        ctx.begin(PHASE_LOOKUP, sim.now)
+        ...
+        ctx.end(PHASE_LOOKUP, sim.now)
+    """
+
+    __slots__ = ("op", "rpcs", "retries", "phases", "_open", "start", "finish")
+
+    def __init__(self, op: str = ""):
+        self.op = op
+        self.rpcs = 0
+        self.retries = 0
+        self.phases: Dict[str, float] = {}
+        self._open: Dict[str, float] = {}
+        self.start: Optional[float] = None
+        self.finish: Optional[float] = None
+
+    def begin(self, phase: str, now: float) -> None:
+        self._open[phase] = now
+
+    def end(self, phase: str, now: float) -> None:
+        started = self._open.pop(phase, None)
+        if started is None:
+            raise ValueError(f"phase {phase!r} was not begun")
+        self.phases[phase] = self.phases.get(phase, 0.0) + (now - started)
+
+    def phase_time(self, phase: str) -> float:
+        return self.phases.get(phase, 0.0)
+
+    @property
+    def latency(self) -> float:
+        if self.start is None or self.finish is None:
+            return 0.0
+        return self.finish - self.start
+
+
+class MetricSet:
+    """All measurements from one benchmark run of one system."""
+
+    def __init__(self):
+        self.latency: Dict[str, LatencyRecorder] = {}
+        self.phase_latency: Dict[Tuple[str, str], LatencyRecorder] = {}
+        self.rpc_rounds: Dict[str, LatencyRecorder] = {}
+        self.ops_completed = 0
+        self.ops_failed = 0
+        self.retries = 0
+        self.started_at = 0.0
+        self.finished_at = 0.0
+
+    def record(self, ctx: OpContext) -> None:
+        self.ops_completed += 1
+        self.retries += ctx.retries
+        self.latency.setdefault(ctx.op, LatencyRecorder(ctx.op)).add(ctx.latency)
+        self.rpc_rounds.setdefault(ctx.op, LatencyRecorder(ctx.op)).add(float(ctx.rpcs))
+        for phase, spent in ctx.phases.items():
+            key = (ctx.op, phase)
+            self.phase_latency.setdefault(key, LatencyRecorder(ctx.op)).add(spent)
+
+    def record_failure(self, ctx: OpContext) -> None:
+        self.ops_failed += 1
+        self.retries += ctx.retries
+
+    @property
+    def duration_us(self) -> float:
+        return max(0.0, self.finished_at - self.started_at)
+
+    def throughput_kops(self, op: Optional[str] = None) -> float:
+        """Completed operations per second, in Kop/s of simulated time."""
+        if self.duration_us <= 0:
+            return 0.0
+        if op is None:
+            done = self.ops_completed
+        else:
+            done = self.latency[op].count if op in self.latency else 0
+        return done / self.duration_us * 1e6 / 1e3
+
+    def mean_latency_us(self, op: str) -> float:
+        rec = self.latency.get(op)
+        return rec.mean if rec else 0.0
+
+    def phase_breakdown(self, op: str) -> Dict[str, float]:
+        """Mean per-phase latency for ``op`` (missing phases are 0)."""
+        out = {}
+        for phase in PHASES:
+            rec = self.phase_latency.get((op, phase))
+            out[phase] = rec.mean if rec else 0.0
+        return out
+
+    def mean_rpcs(self, op: str) -> float:
+        rec = self.rpc_rounds.get(op)
+        return rec.mean if rec else 0.0

@@ -1,0 +1,20 @@
+"""Core data structures behind IndexNode and the baselines.
+
+* :class:`~repro.structures.radix_tree.PrefixTree` — the Invalidator's radix
+  tree over cached path prefixes (range queries for invalidation, §5.1.2).
+* :class:`~repro.structures.skiplist.SkipList` — the ordered set behind
+  RemovalList (paths currently being modified).
+* :class:`~repro.structures.lru.LRUCache` — AM-Cache for the InfiniFS
+  baseline and the Figure 20 caching study.
+
+The paper implements PrefixTree and RemovalList lock-free in C++; under the
+GIL the lock-free property is moot, but the *interfaces and asymptotics*
+(prefix range scans, ordered probes) are preserved, and a version counter
+provides the timestamp-based conflict detection §5.1.2 describes.
+"""
+
+from repro.structures.lru import LRUCache
+from repro.structures.radix_tree import PrefixTree
+from repro.structures.skiplist import SkipList
+
+__all__ = ["PrefixTree", "SkipList", "LRUCache"]

@@ -1,0 +1,197 @@
+"""Client-side TafDB access: routing, single-shard fast path, 2PC.
+
+A :class:`TafDBClient` lives inside a proxy (or an IndexNode applying
+synchronized updates).  It routes row keys to shard servers through the
+partitioner and executes transactions:
+
+* all intents on one shard → a single ``execute`` RPC (one round trip);
+* intents spanning shards → two-phase commit: parallel ``prepare`` RPCs,
+  then parallel ``commit`` (or ``abort``) RPCs.
+
+Aborts surface as :class:`~repro.errors.TransactionAbort`; retry policy
+belongs to the operation layer, but :meth:`backoff_us` provides the shared
+exponential-backoff schedule.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TransactionAbort
+from repro.sim.core import Simulator
+from repro.sim.host import CostModel
+from repro.sim.network import Network
+from repro.sim.stats import OpContext
+from repro.tafdb.partition import Partitioner
+from repro.tafdb.rows import RowKey
+from repro.tafdb.server import DBServer
+from repro.tafdb.shard import WriteIntent
+
+_client_counter = itertools.count(1)
+
+
+class TafDBClient:
+    """Routing + transaction coordination for one client (proxy) endpoint."""
+
+    def __init__(self, sim: Simulator, network: Network,
+                 partitioner: Partitioner, servers: Sequence[DBServer],
+                 costs: CostModel, client_id: Optional[int] = None):
+        if len(servers) != partitioner.num_servers:
+            raise ValueError("server list does not match partitioner")
+        self.sim = sim
+        self.network = network
+        self.partitioner = partitioner
+        self.servers = list(servers)
+        self.costs = costs
+        self.client_id = client_id if client_id is not None else next(_client_counter)
+        self._txn_seq = 0
+        self._ts_seq = 0
+        self.txn_attempts = 0
+        self.txn_aborts = 0
+
+    # -- identifiers ---------------------------------------------------------
+
+    def next_txn_id(self) -> str:
+        self._txn_seq += 1
+        return f"txn-{self.client_id}-{self._txn_seq}"
+
+    def next_delta_ts(self) -> int:
+        """Globally unique non-zero delta timestamp (client id + sequence)."""
+        self._ts_seq += 1
+        return (self.client_id << 24) | self._ts_seq
+
+    def backoff_us(self, attempt: int) -> float:
+        """Exponential backoff schedule for transaction retries."""
+        delay = self.costs.backoff_base_us * (2 ** min(attempt, 10))
+        return min(delay, self.costs.backoff_max_us)
+
+    # -- routing ----------------------------------------------------------------
+
+    def shard_of(self, pid: int) -> int:
+        return self.partitioner.shard_of(pid)
+
+    def server_for(self, pid: int) -> Tuple[int, DBServer]:
+        shard_id = self.partitioner.shard_of(pid)
+        return shard_id, self.servers[self.partitioner.server_of_shard(shard_id)]
+
+    # -- reads ---------------------------------------------------------------------
+
+    def read(self, key: RowKey, ctx: Optional[OpContext] = None):
+        shard_id, server = self.server_for(key.pid)
+        row = yield from self.network.rpc(server, "read", shard_id, key, ctx=ctx)
+        return row
+
+    def scan_children(self, pid: int, limit: Optional[int] = None,
+                      start_after: Optional[str] = None,
+                      ctx: Optional[OpContext] = None):
+        shard_id, server = self.server_for(pid)
+        page = yield from self.network.rpc(
+            server, "scan_children", shard_id, pid, limit, start_after, ctx=ctx)
+        return page
+
+    def has_children(self, dir_id: int, ctx: Optional[OpContext] = None):
+        shard_id, server = self.server_for(dir_id)
+        result = yield from self.network.rpc(
+            server, "has_children", shard_id, dir_id, ctx=ctx)
+        return result
+
+    def read_dir_attrs(self, dir_id: int, ctx: Optional[OpContext] = None):
+        shard_id, server = self.server_for(dir_id)
+        attrs = yield from self.network.rpc(
+            server, "read_dir_attrs", shard_id, dir_id, ctx=ctx)
+        return attrs
+
+    def atomic_add(self, dir_id: int, link_delta: int, entry_delta: int,
+                   ctx: Optional[OpContext] = None):
+        """CFS-style atomic parent-attribute increment (never aborts)."""
+        shard_id, server = self.server_for(dir_id)
+        ok = yield from self.network.rpc(
+            server, "atomic_add", shard_id, dir_id, link_delta, entry_delta,
+            self.sim.now, ctx=ctx)
+        return ok
+
+    # -- transactions ------------------------------------------------------------------
+
+    def execute_txn(self, intents: Sequence[WriteIntent],
+                    ctx: Optional[OpContext] = None):
+        """Run one transaction; raises TransactionAbort on conflict.
+
+        Single-shard transactions commit in one RPC; multi-shard ones use
+        2PC with parallel prepares and commits, exactly the coordination the
+        paper's Figure 2 step (4a)/(4b) shows.
+        """
+        if not intents:
+            return
+        by_shard: Dict[int, List[WriteIntent]] = {}
+        for intent in intents:
+            by_shard.setdefault(self.shard_of(intent.key.pid), []).append(intent)
+        txn_id = self.next_txn_id()
+        self.txn_attempts += 1
+        if len(by_shard) == 1:
+            shard_id, shard_intents = next(iter(by_shard.items()))
+            server = self.servers[self.partitioner.server_of_shard(shard_id)]
+            try:
+                yield from self.network.rpc(
+                    server, "execute", shard_id, txn_id, shard_intents, ctx=ctx)
+            except TransactionAbort:
+                self.txn_aborts += 1
+                raise
+            return
+        yield from self._two_phase_commit(txn_id, by_shard, ctx)
+
+    def _two_phase_commit(self, txn_id: str,
+                          by_shard: Dict[int, List[WriteIntent]],
+                          ctx: Optional[OpContext]):
+        shard_ids = sorted(by_shard)
+        prepares = [
+            self._guarded(self._prepare_one(txn_id, sid, by_shard[sid], ctx))
+            for sid in shard_ids
+        ]
+        outcomes = yield self.sim.all_of(
+            [self.sim.process(p) for p in prepares])
+        failures = [err for ok, err in outcomes if not ok]
+        if failures:
+            prepared = [sid for sid, (ok, _) in zip(shard_ids, outcomes) if ok]
+            yield from self._finish(txn_id, prepared, "abort", ctx)
+            self.txn_aborts += 1
+            raise failures[0]
+        yield from self._finish(txn_id, shard_ids, "commit", ctx)
+
+    def _prepare_one(self, txn_id: str, shard_id: int,
+                     intents: List[WriteIntent], ctx: Optional[OpContext]):
+        server = self.servers[self.partitioner.server_of_shard(shard_id)]
+        yield from self.network.rpc(
+            server, "prepare", shard_id, txn_id, intents, ctx=ctx)
+
+    def _finish(self, txn_id: str, shard_ids: List[int], verb: str,
+                ctx: Optional[OpContext]):
+        if not shard_ids:
+            return
+        rounds = []
+        for shard_id in shard_ids:
+            server = self.servers[self.partitioner.server_of_shard(shard_id)]
+            rounds.append(self._swallow(self.network.rpc(
+                server, verb, shard_id, txn_id, ctx=ctx)))
+        yield self.sim.all_of([self.sim.process(r) for r in rounds])
+
+    @staticmethod
+    def _guarded(generator):
+        """Convert exceptions into (ok, error) results so AllOf never fails
+        mid-flight with sibling prepares still holding locks."""
+        def runner():
+            try:
+                yield from generator
+                return (True, None)
+            except TransactionAbort as exc:
+                return (False, exc)
+        return runner()
+
+    @staticmethod
+    def _swallow(generator):
+        def runner():
+            try:
+                yield from generator
+            except TransactionAbort:
+                pass
+        return runner()

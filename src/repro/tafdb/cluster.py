@@ -1,0 +1,76 @@
+"""Assembly of a TafDB deployment: hosts, servers, shards, compactors."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.core import Simulator
+from repro.sim.host import CostModel, Host
+from repro.sim.network import Network
+from repro.tafdb.client import TafDBClient
+from repro.tafdb.contention import ContentionRegistry
+from repro.tafdb.partition import Partitioner
+from repro.tafdb.server import DBServer
+
+
+class TafDBCluster:
+    """A sharded TafDB deployment shared by every namespace (§4).
+
+    ``contention`` is the cluster-wide registry deciding which directories
+    run in delta mode; it is internal metadata-service state, so modelling
+    it as a shared object (rather than replicated state) is faithful enough
+    for the behaviours under study.
+    """
+
+    def __init__(self, sim: Simulator, network: Network,
+                 num_servers: int = 18, num_shards: int = 72,
+                 cores: int = 32, costs: Optional[CostModel] = None,
+                 compaction_period_us: float = 5_000.0,
+                 delta_threshold: int = 3,
+                 delta_window_us: float = 1_000_000.0,
+                 deltas_enabled: bool = True,
+                 start_compactors: bool = True):
+        self.sim = sim
+        self.network = network
+        self.costs = costs or CostModel()
+        self.partitioner = Partitioner(num_shards, num_servers)
+        self.hosts: List[Host] = []
+        self.servers: List[DBServer] = []
+        for server_id in range(num_servers):
+            host = Host(sim, f"tafdb-{server_id}", cores=cores,
+                        fsync_us=self.costs.fsync_us)
+            shard_ids = self.partitioner.shards_on_server(server_id)
+            self.hosts.append(host)
+            self.servers.append(DBServer(host, shard_ids, self.costs))
+        self.contention = ContentionRegistry(
+            threshold=delta_threshold, window_us=delta_window_us,
+            enabled=deltas_enabled)
+        self._compactors = []
+        if start_compactors:
+            for server in self.servers:
+                self._compactors.append(sim.process(
+                    server.compactor_loop(compaction_period_us),
+                    name=f"compactor-{server.host.name}"))
+
+    def client(self, client_id: Optional[int] = None) -> TafDBClient:
+        return TafDBClient(self.sim, self.network, self.partitioner,
+                           self.servers, self.costs, client_id=client_id)
+
+    def stop_compactors(self) -> None:
+        for proc in self._compactors:
+            proc.interrupt("shutdown")
+        self._compactors = []
+
+    # -- aggregate stats ------------------------------------------------------
+
+    @property
+    def total_rows(self) -> int:
+        return sum(server.total_rows for server in self.servers)
+
+    @property
+    def total_aborts(self) -> int:
+        return sum(server.total_aborts for server in self.servers)
+
+    @property
+    def total_commits(self) -> int:
+        return sum(server.total_commits for server in self.servers)

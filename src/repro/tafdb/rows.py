@@ -1,0 +1,104 @@
+"""Row model of the TafDB metadata table."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Union
+
+from repro.paths import ATTR_SENTINEL
+from repro.types import AttrMeta, EntryKind, Permission
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class RowKey:
+    """Composite primary key: (parent id, name, transaction timestamp).
+
+    ``ts == 0`` marks a primary record; delta records carry the creating
+    transaction's unique timestamp (Figure 8).
+    """
+
+    pid: int
+    name: str
+    ts: int = 0
+
+    @property
+    def is_delta(self) -> bool:
+        return self.name == ATTR_SENTINEL and self.ts != 0
+
+    @property
+    def is_attr(self) -> bool:
+        return self.name == ATTR_SENTINEL
+
+
+def dirent_key(pid: int, name: str) -> RowKey:
+    """Key of the dirent row for entry ``name`` under directory ``pid``."""
+    return RowKey(pid, name, 0)
+
+
+def attr_key(dir_id: int) -> RowKey:
+    """Key of a directory's primary attribute row (co-located with its
+    children because the key's pid is the directory's own id)."""
+    return RowKey(dir_id, ATTR_SENTINEL, 0)
+
+
+def delta_key(dir_id: int, ts: int) -> RowKey:
+    """Key of one delta record for directory ``dir_id``."""
+    if ts == 0:
+        raise ValueError("delta timestamps must be non-zero")
+    return RowKey(dir_id, ATTR_SENTINEL, ts)
+
+
+@dataclasses.dataclass(frozen=True)
+class Dirent:
+    """Access metadata stored in a dirent row.
+
+    For objects, ``attrs`` carries the full attribute record inline; for
+    directories ``attrs`` is None and attributes live in the attribute row.
+    """
+
+    id: int
+    kind: EntryKind
+    permission: Permission = Permission.ALL
+    attrs: Optional[AttrMeta] = None
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind is EntryKind.DIRECTORY
+
+
+@dataclasses.dataclass(frozen=True)
+class AttrDelta:
+    """One conflict-free out-of-place attribute update (§5.2.1)."""
+
+    link_delta: int = 0
+    entry_delta: int = 0
+    size_delta: int = 0
+    mtime: float = 0.0
+
+    def apply_to(self, attrs: AttrMeta) -> None:
+        """Fold this delta into a mutable attribute record (compaction)."""
+        attrs.link_count += self.link_delta
+        attrs.entry_count += self.entry_delta
+        attrs.size += self.size_delta
+        if self.mtime > attrs.mtime:
+            attrs.mtime = self.mtime
+
+
+#: What a row's value may be.
+RowValue = Union[Dirent, AttrMeta, AttrDelta]
+
+
+@dataclasses.dataclass
+class Row:
+    """A stored row: value plus its optimistic-concurrency version."""
+
+    key: RowKey
+    value: RowValue
+    version: int = 1
+
+    def snapshot(self) -> "Row":
+        """Copy handed to readers so cached references can't see later writes."""
+        value = self.value
+        if isinstance(value, AttrMeta):
+            value = value.copy()
+        return Row(self.key, value, self.version)

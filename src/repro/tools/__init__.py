@@ -1,0 +1,1 @@
+"""User-facing tools: the interactive namespace shell."""

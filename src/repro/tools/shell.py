@@ -1,0 +1,237 @@
+"""``mantle-shell`` — an interactive shell over a simulated Mantle cluster.
+
+A small exploration REPL for the namespace API::
+
+    $ mantle-shell
+    mantle:/> mkdir -p /datasets/audio
+    mantle:/> put /datasets/audio/seg-000.wav
+    mantle:/> cd /datasets
+    mantle:/datasets> ls
+    audio/
+    mantle:/datasets> stat audio
+    ...
+    mantle:/datasets> stats
+    ...
+
+Every command drives the discrete-event simulation underneath; ``stats``
+shows simulated-time latency percentiles collected so far.
+"""
+
+from __future__ import annotations
+
+import shlex
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.core.api import MantleClient
+from repro.errors import MetadataError
+from repro.paths import normalize, parent_and_name
+from repro.types import Permission
+
+
+class ShellError(Exception):
+    """User-facing command error (bad arguments, unknown command)."""
+
+
+class MantleShell:
+    """Stateful command interpreter over one MantleClient."""
+
+    def __init__(self, client: Optional[MantleClient] = None):
+        self.client = client or MantleClient()
+        self.cwd = "/"
+        self._commands: Dict[str, Callable[[List[str]], str]] = {
+            "ls": self.cmd_ls,
+            "mkdir": self.cmd_mkdir,
+            "rmdir": self.cmd_rmdir,
+            "put": self.cmd_put,
+            "rm": self.cmd_rm,
+            "stat": self.cmd_stat,
+            "mv": self.cmd_mv,
+            "cd": self.cmd_cd,
+            "pwd": self.cmd_pwd,
+            "chmod": self.cmd_chmod,
+            "tree": self.cmd_tree,
+            "stats": self.cmd_stats,
+            "help": self.cmd_help,
+        }
+
+    # -- plumbing ----------------------------------------------------------
+
+    def resolve(self, path: str) -> str:
+        """Resolve a possibly-relative path against the shell's cwd."""
+        if not path or path == ".":
+            return self.cwd
+        if path == "..":
+            return parent_and_name(self.cwd)[0] if self.cwd != "/" else "/"
+        if path.startswith("/"):
+            return normalize(path)
+        base = self.cwd.rstrip("/")
+        return normalize(f"{base}/{path}")
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns the output text.
+
+        Raises :class:`ShellError` for usage problems and lets
+        :class:`MetadataError` bubble for namespace errors (the REPL prints
+        both without exiting).
+        """
+        parts = shlex.split(line)
+        if not parts:
+            return ""
+        command, args = parts[0], parts[1:]
+        handler = self._commands.get(command)
+        if handler is None:
+            raise ShellError(f"unknown command {command!r} (try 'help')")
+        return handler(args)
+
+    # -- commands -------------------------------------------------------------
+
+    def cmd_help(self, _args: List[str]) -> str:
+        return "\n".join([
+            "ls [path]             list a directory",
+            "mkdir [-p] <path>     create a directory",
+            "rmdir <path>          remove an empty directory",
+            "put <path>            create an object",
+            "rm <path>             delete an object",
+            "stat <path>           show entry metadata",
+            "mv <src> <dst>        rename (atomic, loop-checked)",
+            "cd <path> / pwd       navigate",
+            "chmod <rwx|r-x|...> <path>  set directory permissions",
+            "tree [path]           recursive listing",
+            "stats                 latency stats of this session",
+        ])
+
+    def cmd_ls(self, args: List[str]) -> str:
+        path = self.resolve(args[0] if args else ".")
+        names = self.client.listdir(path)
+        decorated = []
+        for name in names:
+            child = path.rstrip("/") + "/" + name
+            try:
+                is_dir = self.client.dirstat(child).is_dir
+            except MetadataError:
+                is_dir = False
+            decorated.append(name + ("/" if is_dir else ""))
+        return "\n".join(decorated)
+
+    def cmd_mkdir(self, args: List[str]) -> str:
+        parents = "-p" in args
+        targets = [a for a in args if a != "-p"]
+        if not targets:
+            raise ShellError("usage: mkdir [-p] <path>")
+        for target in targets:
+            self.client.mkdir(self.resolve(target), parents=parents)
+        return ""
+
+    def cmd_rmdir(self, args: List[str]) -> str:
+        if not args:
+            raise ShellError("usage: rmdir <path>")
+        self.client.rmdir(self.resolve(args[0]))
+        return ""
+
+    def cmd_put(self, args: List[str]) -> str:
+        if not args:
+            raise ShellError("usage: put <path>")
+        obj_id = self.client.create(self.resolve(args[0]))
+        return f"created object id={obj_id}"
+
+    def cmd_rm(self, args: List[str]) -> str:
+        if not args:
+            raise ShellError("usage: rm <path>")
+        self.client.delete(self.resolve(args[0]))
+        return ""
+
+    def cmd_stat(self, args: List[str]) -> str:
+        if not args:
+            raise ShellError("usage: stat <path>")
+        stat = self.client.stat(self.resolve(args[0]))
+        kind = "directory" if stat.is_dir else "object"
+        lines = [f"path:        {stat.path}",
+                 f"kind:        {kind}",
+                 f"id:          {stat.id}",
+                 f"entries:     {stat.entry_count}",
+                 f"permission:  {stat.permission!r}"]
+        return "\n".join(lines)
+
+    def cmd_mv(self, args: List[str]) -> str:
+        if len(args) != 2:
+            raise ShellError("usage: mv <src> <dst>")
+        self.client.rename(self.resolve(args[0]), self.resolve(args[1]))
+        return ""
+
+    def cmd_cd(self, args: List[str]) -> str:
+        target = self.resolve(args[0] if args else "/")
+        if target != "/" and not self.client.dirstat(target).is_dir:
+            raise ShellError(f"not a directory: {target}")
+        self.cwd = target
+        return ""
+
+    def cmd_pwd(self, _args: List[str]) -> str:
+        return self.cwd
+
+    def cmd_chmod(self, args: List[str]) -> str:
+        if len(args) != 2:
+            raise ShellError("usage: chmod <rwx|r-x|...> <path>")
+        mask = Permission.NONE
+        spec = args[0]
+        if len(spec) != 3 or any(c not in "rwx-" for c in spec):
+            raise ShellError("permission spec must look like rwx / r-x / ---")
+        if spec[0] == "r":
+            mask |= Permission.READ
+        if spec[1] == "w":
+            mask |= Permission.WRITE
+        if spec[2] == "x":
+            mask |= Permission.EXECUTE
+        self.client.setattr(self.resolve(args[1]), mask)
+        return ""
+
+    def cmd_tree(self, args: List[str]) -> str:
+        root = self.resolve(args[0] if args else ".")
+        lines = [root]
+        for path in sorted(self.client.walk(root)):
+            rel = path[len(root):].strip("/")
+            indent = "  " * rel.count("/")
+            lines.append(f"{indent}{rel.rsplit('/', 1)[-1]}")
+        return "\n".join(lines)
+
+    def cmd_stats(self, _args: List[str]) -> str:
+        lines = [f"simulated time: {self.client.simulated_time_us:.0f} us"]
+        for op, recorder in sorted(self.client.metrics.latency.items()):
+            lines.append(f"{op:10s} n={recorder.count:4d} "
+                         f"mean={recorder.mean:8.1f}us "
+                         f"p99={recorder.p99:8.1f}us")
+        cache = self.client.cache_stats()
+        lines.append(f"pathcache  entries={cache['entries']} "
+                     f"hit_rate={cache['hit_rate']:.2f}")
+        return "\n".join(lines)
+
+    # -- REPL -----------------------------------------------------------------
+
+    def repl(self, stdin=None, stdout=None) -> None:  # pragma: no cover
+        stdin = stdin or sys.stdin
+        stdout = stdout or sys.stdout
+        while True:
+            stdout.write(f"mantle:{self.cwd}> ")
+            stdout.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            line = line.strip()
+            if line in ("exit", "quit"):
+                break
+            try:
+                output = self.execute(line)
+            except (ShellError, MetadataError) as exc:
+                output = f"error: {exc}"
+            if output:
+                stdout.write(output + "\n")
+        self.client.close()
+
+
+def main() -> int:  # pragma: no cover
+    MantleShell().repl()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

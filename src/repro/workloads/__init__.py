@@ -1,0 +1,41 @@
+"""Workload generators for the paper's evaluation (§6).
+
+* :mod:`~repro.workloads.namespace` — synthetic namespace trees with the
+  depth distribution of §3 (average ≈ 11, skewed access to deep levels);
+* :mod:`~repro.workloads.mdtest` — the mdtest-style per-operation loads of
+  §6.3, including the conflicting ('-s') and non-conflicting ('-e') modes;
+* :mod:`~repro.workloads.spark` — interactive Spark analytics: subtasks
+  renaming temporary directories into one shared output directory (§3.2);
+* :mod:`~repro.workloads.audio` — AI audio preprocessing: deep-path scans
+  plus segment-object creation without shared-directory conflicts (§6.2);
+* :mod:`~repro.workloads.profiles` — the production namespace profiles of
+  Figure 3 (ns1–ns5) and Table 3 (C1–C5).
+"""
+
+from repro.workloads.namespace import NamespaceSpec, build_namespace, populate
+from repro.workloads.mdtest import MdtestWorkload
+from repro.workloads.mixed import MixedWorkload, ZipfPicker
+from repro.workloads.spark import SparkAnalyticsWorkload
+from repro.workloads.audio import AudioPreprocessWorkload
+from repro.workloads.trace import TraceRecorder, TraceWorkload
+from repro.workloads.profiles import (
+    FIGURE3_PROFILES,
+    TABLE3_PROFILES,
+    NamespaceProfile,
+)
+
+__all__ = [
+    "NamespaceSpec",
+    "build_namespace",
+    "populate",
+    "MdtestWorkload",
+    "MixedWorkload",
+    "ZipfPicker",
+    "SparkAnalyticsWorkload",
+    "AudioPreprocessWorkload",
+    "TraceRecorder",
+    "TraceWorkload",
+    "NamespaceProfile",
+    "FIGURE3_PROFILES",
+    "TABLE3_PROFILES",
+]

@@ -1,0 +1,52 @@
+"""Shared fixtures: build each of the four systems at a tiny scale."""
+
+import pytest
+
+from repro.baselines import InfiniFSSystem, LocoFSSystem, TectonicSystem
+from repro.core.config import MantleConfig
+from repro.core.service import MantleSystem
+from repro.sim.stats import OpContext
+
+SYSTEM_NAMES = ("mantle", "tectonic", "infinifs", "locofs")
+
+
+def build_system(name: str):
+    if name == "mantle":
+        system = MantleSystem(MantleConfig(
+            num_db_servers=2, num_db_shards=4, num_proxies=2,
+            index_replicas=3, index_cores=8, db_cores=8, proxy_cores=8))
+    elif name == "tectonic":
+        system = TectonicSystem(num_db_servers=2, num_db_shards=4,
+                                num_proxies=2, db_cores=8, proxy_cores=8)
+    elif name == "infinifs":
+        system = InfiniFSSystem(num_db_servers=2, num_db_shards=4,
+                                num_proxies=2, db_cores=8, proxy_cores=8)
+    elif name == "locofs":
+        system = LocoFSSystem(num_db_servers=2, num_db_shards=4,
+                              num_proxies=2, db_cores=8, proxy_cores=8)
+    else:  # pragma: no cover
+        raise ValueError(name)
+    system.startup()
+    return system
+
+
+class SyncDriver:
+    """Synchronous wrapper running one op at a time on any system."""
+
+    def __init__(self, system):
+        self.system = system
+        self.contexts = []
+
+    def run(self, op, *args):
+        ctx = OpContext(op)
+        result = self.system.sim.run_process(
+            self.system.submit(op, *args, ctx=ctx))
+        self.contexts.append(ctx)
+        return result
+
+
+@pytest.fixture(params=SYSTEM_NAMES)
+def driver(request):
+    system = build_system(request.param)
+    yield SyncDriver(system)
+    system.shutdown()

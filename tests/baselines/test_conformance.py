@@ -1,0 +1,150 @@
+"""Conformance suite: all four systems implement identical semantics.
+
+Every scenario runs against Mantle, Tectonic, InfiniFS and LocoFS through
+the shared MetadataSystem interface; only *performance* may differ between
+systems, never results.
+"""
+
+import pytest
+
+from repro.errors import (
+    AlreadyExistsError,
+    IsADirectoryError,
+    NoSuchPathError,
+    NotEmptyError,
+    RenameLoopError,
+)
+
+
+class TestObjectSemantics:
+    def test_create_stat_delete_roundtrip(self, driver):
+        driver.system.bulk_mkdir("/data")
+        obj_id = driver.run("create", "/data/a.bin")
+        stat = driver.run("objstat", "/data/a.bin")
+        assert stat.id == obj_id
+        driver.run("delete", "/data/a.bin")
+        with pytest.raises(NoSuchPathError):
+            driver.run("objstat", "/data/a.bin")
+
+    def test_duplicate_create_rejected(self, driver):
+        driver.system.bulk_mkdir("/data")
+        driver.run("create", "/data/a.bin")
+        with pytest.raises(AlreadyExistsError):
+            driver.run("create", "/data/a.bin")
+
+    def test_create_under_missing_parent_rejected(self, driver):
+        with pytest.raises(NoSuchPathError):
+            driver.run("create", "/missing/a.bin")
+
+    def test_deep_path_operations(self, driver):
+        path = "/l1/l2/l3/l4/l5/l6/l7/l8"
+        parts = path.strip("/").split("/")
+        for i in range(1, len(parts) + 1):
+            driver.system.bulk_mkdir("/" + "/".join(parts[:i]))
+        driver.run("create", path + "/deep.bin")
+        assert driver.run("objstat", path + "/deep.bin").id > 0
+
+
+class TestDirectorySemantics:
+    def test_mkdir_visible_to_stat_and_readdir(self, driver):
+        driver.system.bulk_mkdir("/top")
+        driver.run("mkdir", "/top/sub")
+        stat = driver.run("dirstat", "/top/sub")
+        assert stat.is_dir
+        assert "sub" in driver.run("readdir", "/top")
+
+    def test_mkdir_duplicate_rejected(self, driver):
+        driver.system.bulk_mkdir("/top")
+        driver.run("mkdir", "/top/sub")
+        with pytest.raises(AlreadyExistsError):
+            driver.run("mkdir", "/top/sub")
+
+    def test_parent_entry_count_grows(self, driver):
+        driver.system.bulk_mkdir("/top")
+        driver.run("mkdir", "/top/sub")
+        driver.run("create", "/top/obj")
+        assert driver.run("dirstat", "/top").entry_count == 2
+
+    def test_rmdir_empty_only(self, driver):
+        driver.system.bulk_mkdir("/top")
+        driver.run("mkdir", "/top/victim")
+        driver.run("create", "/top/victim/obj")
+        with pytest.raises(NotEmptyError):
+            driver.run("rmdir", "/top/victim")
+        driver.run("delete", "/top/victim/obj")
+        driver.run("rmdir", "/top/victim")
+        with pytest.raises(NoSuchPathError):
+            driver.run("dirstat", "/top/victim")
+
+
+class TestRenameSemantics:
+    def test_rename_moves_descendants(self, driver):
+        driver.system.bulk_mkdir("/src")
+        driver.system.bulk_mkdir("/src/inner")
+        driver.system.bulk_create("/src/inner/obj")
+        driver.system.bulk_mkdir("/dst")
+        driver.run("dirrename", "/src/inner", "/dst/moved")
+        assert driver.run("objstat", "/dst/moved/obj").id > 0
+        with pytest.raises(NoSuchPathError):
+            driver.run("objstat", "/src/inner/obj")
+
+    def test_rename_loop_rejected(self, driver):
+        driver.system.bulk_mkdir("/a")
+        driver.system.bulk_mkdir("/a/b")
+        with pytest.raises(RenameLoopError):
+            driver.run("dirrename", "/a", "/a/b/a2")
+
+    def test_lookup_after_rename_uses_new_path(self, driver):
+        """Stale-cache check: warm lookups, rename, resolve again."""
+        driver.system.bulk_mkdir("/w")
+        driver.system.bulk_mkdir("/w/x")
+        driver.system.bulk_mkdir("/w/x/y")
+        driver.system.bulk_create("/w/x/y/obj")
+        driver.run("objstat", "/w/x/y/obj")  # warm caches/predictions
+        driver.system.bulk_mkdir("/dst")
+        driver.run("dirrename", "/w/x", "/dst/x2")
+        assert driver.run("objstat", "/dst/x2/y/obj").id > 0
+        with pytest.raises(NoSuchPathError):
+            driver.run("objstat", "/w/x/y/obj")
+
+
+class TestErrors:
+    def test_delete_on_directory_rejected(self, driver):
+        driver.system.bulk_mkdir("/d")
+        with pytest.raises(IsADirectoryError):
+            driver.run("delete", "/d")
+
+    def test_unknown_operation_rejected(self, driver):
+        with pytest.raises(ValueError):
+            driver.system.sim.run_process(driver.system.submit("chmodx", "/"))
+
+
+class TestPhaseAccounting:
+    def test_objstat_has_lookup_phase(self, driver):
+        driver.system.bulk_mkdir("/p")
+        driver.system.bulk_create("/p/o")
+        driver.run("objstat", "/p/o")
+        ctx = driver.contexts[-1]
+        assert ctx.latency > 0
+        # LocoFS folds dir-op resolution into execution; all systems must
+        # still account the whole operation to *some* phase.
+        assert sum(ctx.phases.values()) > 0
+
+    def test_rpc_rounds_counted(self, driver):
+        driver.system.bulk_mkdir("/p")
+        driver.system.bulk_create("/p/o")
+        driver.run("objstat", "/p/o")
+        assert driver.contexts[-1].rpcs >= 1
+
+
+class TestDataAccessMode:
+    def test_data_access_adds_latency(self, driver):
+        driver.system.bulk_mkdir("/p")
+        driver.system.bulk_create("/p/o")
+        driver.run("objstat", "/p/o")
+        without = driver.contexts[-1].latency
+        driver.system.data_access_enabled = True
+        driver.run("objstat", "/p/o")
+        with_data = driver.contexts[-1].latency
+        driver.system.data_access_enabled = False
+        assert with_data > without

@@ -1,0 +1,198 @@
+"""Differential testing: all four systems against a reference model.
+
+A seeded random operation sequence is applied to Mantle, Tectonic,
+InfiniFS and LocoFS and to a trivially-correct in-memory reference
+filesystem.  Every system must agree with the reference on (a) whether
+each operation succeeds and (b) the final namespace tree.  This is the
+strongest conformance check in the suite: any divergence in rename
+semantics, entry counting or error handling shows up here.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import MetadataError
+from repro.paths import is_prefix, normalize, parent_and_name
+from repro.sim.stats import OpContext
+from tests.baselines.conftest import SYSTEM_NAMES, build_system
+
+
+class ReferenceFS:
+    """Dict-based model of the namespace semantics under test."""
+
+    def __init__(self):
+        self.dirs = {"/"}
+        self.objects = set()
+
+    def _parent_ok(self, path):
+        parent, _name = parent_and_name(path)
+        return parent in self.dirs
+
+    def _exists(self, path):
+        return path in self.dirs or path in self.objects
+
+    def mkdir(self, path):
+        if not self._parent_ok(path):
+            return "error"
+        if self._exists(path):
+            return "error"
+        self.dirs.add(path)
+        return "ok"
+
+    def create(self, path):
+        if not self._parent_ok(path) or self._exists(path):
+            return "error"
+        self.objects.add(path)
+        return "ok"
+
+    def delete(self, path):
+        if path not in self.objects:
+            return "error"
+        self.objects.remove(path)
+        return "ok"
+
+    def rmdir(self, path):
+        if path not in self.dirs or path == "/":
+            return "error"
+        if any(p != path and is_prefix(path, p)
+               for p in self.dirs | self.objects):
+            return "error"
+        self.dirs.remove(path)
+        return "ok"
+
+    def dirrename(self, src, dst):
+        if src not in self.dirs or src == "/":
+            return "error"
+        if self._exists(dst) or not self._parent_ok(dst):
+            return "error"
+        if is_prefix(src, dst):
+            return "error"  # loop
+        moved_dirs = {p for p in self.dirs if is_prefix(src, p)}
+        moved_objs = {p for p in self.objects if is_prefix(src, p)}
+        self.dirs -= moved_dirs
+        self.objects -= moved_objs
+        for p in moved_dirs:
+            self.dirs.add(dst + p[len(src):])
+        for p in moved_objs:
+            self.objects.add(dst + p[len(src):])
+        return "ok"
+
+    def objstat(self, path):
+        return "ok" if path in self.objects else "error"
+
+    def dirstat(self, path):
+        return "ok" if path in self.dirs else "error"
+
+    def listdir(self, path):
+        if path not in self.dirs:
+            return None
+        out = set()
+        for p in self.dirs | self.objects:
+            if p != path and is_prefix(path, p):
+                rest = p[len(path):].lstrip("/")
+                out.add(rest.split("/")[0])
+        return sorted(out)
+
+
+def generate_ops(seed, count=60):
+    """Seeded random op sequence over a small path universe."""
+    rng = random.Random(seed)
+    names = ["a", "b", "c", "d"]
+    paths = ["/" + "/".join(combo)
+             for depth in (1, 2, 3)
+             for combo in _combos(names, depth)]
+    ops = []
+    for _ in range(count):
+        kind = rng.choices(
+            ["mkdir", "create", "delete", "rmdir", "dirrename",
+             "objstat", "dirstat", "readdir"],
+            [4, 4, 2, 2, 3, 2, 2, 1])[0]
+        if kind == "dirrename":
+            ops.append((kind, (rng.choice(paths), rng.choice(paths))))
+        else:
+            ops.append((kind, (rng.choice(paths),)))
+    return ops
+
+
+def _combos(names, depth):
+    if depth == 1:
+        return [(n,) for n in names]
+    return [(n,) + rest for n in names for rest in _combos(names, depth - 1)]
+
+
+def apply_to_system(system, ops):
+    outcomes = []
+    for op, args in ops:
+        ctx = OpContext(op)
+        target = "readdir" if op == "readdir" else op
+        try:
+            system.sim.run_process(system.submit(target, *args, ctx=ctx))
+            outcomes.append("ok")
+        except MetadataError:
+            outcomes.append("error")
+    return outcomes
+
+
+def apply_to_reference(ref, ops):
+    outcomes = []
+    for op, args in ops:
+        if op == "readdir":
+            outcomes.append("ok" if ref.listdir(args[0]) is not None
+                            else "error")
+        elif op == "dirrename":
+            outcomes.append(ref.dirrename(*args))
+        else:
+            outcomes.append(getattr(ref, op)(*args))
+    return outcomes
+
+
+def final_tree(system, ref):
+    """Walk the reference's directories through the system and compare."""
+    mismatches = []
+    for directory in sorted(ref.dirs):
+        expected = ref.listdir(directory)
+        ctx = OpContext("readdir")
+        try:
+            got = system.sim.run_process(
+                system.submit("readdir", directory, ctx=ctx))
+        except MetadataError:
+            mismatches.append((directory, expected, "<error>"))
+            continue
+        if sorted(got) != expected:
+            mismatches.append((directory, expected, sorted(got)))
+    return mismatches
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("name", SYSTEM_NAMES)
+def test_system_agrees_with_reference(name, seed):
+    ops = generate_ops(seed)
+    system = build_system(name)
+    try:
+        ref = ReferenceFS()
+        expected = apply_to_reference(ref, ops)
+        got = apply_to_system(system, ops)
+        disagreements = [
+            (i, ops[i], e, g)
+            for i, (e, g) in enumerate(zip(expected, got)) if e != g
+        ]
+        assert not disagreements, disagreements[:5]
+        assert final_tree(system, ref) == []
+    finally:
+        system.shutdown()
+
+
+def test_reference_model_sanity():
+    ref = ReferenceFS()
+    assert ref.mkdir("/a") == "ok"
+    assert ref.mkdir("/a") == "error"
+    assert ref.create("/a/o") == "ok"
+    assert ref.rmdir("/a") == "error"  # not empty
+    assert ref.dirrename("/a", "/b") == "ok"
+    assert ref.objstat("/b/o") == "ok"
+    assert ref.listdir("/b") == ["o"]
+    assert ref.dirrename("/b", "/b/c") == "error"  # loop
+    assert ref.delete("/b/o") == "ok"
+    assert ref.rmdir("/b") == "ok"
+    assert ref.listdir("/") == []

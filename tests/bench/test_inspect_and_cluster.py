@@ -1,0 +1,80 @@
+"""Tests for cluster builders and the inspection helpers."""
+
+import pytest
+
+from repro.bench.cluster import SYSTEMS, build_system
+from repro.bench.harness import run_workload
+from repro.bench.inspect import (
+    bottleneck,
+    host_utilization_table,
+    subsystem_counters_table,
+)
+from repro.workloads.mdtest import MdtestWorkload
+
+
+class TestClusterBuilder:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            build_system("hdfs")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_system("mantle", scale="galactic")
+
+    @pytest.mark.parametrize("name", SYSTEMS)
+    def test_every_system_starts_at_quick_scale(self, name):
+        system = build_system(name, "quick")
+        assert system.name == name
+        system.shutdown()
+
+    def test_mantle_overrides_reach_config(self):
+        system = build_system("mantle", "quick", num_learners=2)
+        assert system.config.num_learners == 2
+        assert len(system.index_group.learner_ids()) == 2
+        system.shutdown()
+
+    def test_tectonic_gets_extra_db_servers(self):
+        tectonic = build_system("tectonic", "quick")
+        mantle = build_system("mantle", "quick")
+        assert len(tectonic.tafdb.servers) == len(mantle.tafdb.servers) + 3
+        tectonic.shutdown()
+        mantle.shutdown()
+
+
+class TestInspection:
+    def _run(self, name="mantle"):
+        system = build_system(name, "quick")
+        workload = MdtestWorkload("mkdir", depth=6, items=5, num_clients=8)
+        metrics = run_workload(system, workload)
+        return system, metrics
+
+    def test_host_utilization_table_covers_hosts(self):
+        system, metrics = self._run()
+        table = host_utilization_table(system, metrics.duration_us)
+        hosts = table.column("host")
+        assert any(h.startswith("tafdb-") for h in hosts)
+        assert any("indexnode" in h for h in hosts)
+        assert any(h.startswith("proxy-") for h in hosts)
+        assert all(0 <= u <= 100 for u in table.column("utilisation %"))
+        system.shutdown()
+
+    def test_subsystem_counters(self):
+        system, _metrics = self._run()
+        table = subsystem_counters_table(system)
+        counters = dict(zip(table.column("counter"), table.column("value")))
+        assert counters["tafdb.commits"] > 0
+        assert counters["raft.proposals"] == 40  # 8 clients x 5 mkdirs
+        system.shutdown()
+
+    def test_bottleneck_names_a_host(self):
+        system, metrics = self._run()
+        name = bottleneck(system, metrics.duration_us)
+        assert isinstance(name, str) and name != "unknown"
+        system.shutdown()
+
+    def test_inspection_works_for_baselines(self):
+        for name in ("tectonic", "infinifs", "locofs"):
+            system, metrics = self._run(name)
+            table = host_utilization_table(system, metrics.duration_us)
+            assert len(table.rows) > 0
+            system.shutdown()

@@ -1,0 +1,71 @@
+"""Tests for the report tables and formatting."""
+
+import pytest
+
+from repro.bench.report import Table, format_table, print_tables, ratio
+
+
+class TestTable:
+    def test_add_row_width_checked(self):
+        table = Table("t", ["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table("t", ["name", "value"])
+        table.add_row("x", 1)
+        table.add_row("y", 2)
+        assert table.column("value") == [1, 2]
+        with pytest.raises(ValueError):
+            table.column("missing")
+
+    def test_as_dicts(self):
+        table = Table("t", ["name", "value"])
+        table.add_row("x", 1)
+        assert table.as_dicts() == [{"name": "x", "value": 1}]
+
+    def test_render_contains_everything(self):
+        table = Table("My Title", ["col1", "col2"])
+        table.add_row("hello", 3.14159)
+        table.add_note("a note")
+        text = table.render()
+        assert "My Title" in text
+        assert "col1" in text and "col2" in text
+        assert "hello" in text
+        assert "3.142" in text  # float formatting
+        assert "note: a note" in text
+
+    def test_columns_aligned(self):
+        table = Table("t", ["a", "bbbb"])
+        table.add_row("xxxxxxxx", 1)
+        lines = format_table(table).splitlines()
+        header, sep, row = lines[1], lines[2], lines[3]
+        assert header.index("bbbb") == row.index("1")
+        assert set(sep) <= {"-", " "}
+
+    def test_float_formatting_rules(self):
+        table = Table("t", ["v"])
+        table.add_row(0.0)
+        table.add_row(1234.5)
+        table.add_row(42.42)
+        table.add_row(0.123456)
+        rendered = table.render()
+        assert "1,235" in rendered or "1,234" in rendered
+        assert "42.4" in rendered
+        assert "0.123" in rendered
+
+
+class TestHelpers:
+    def test_ratio_safe(self):
+        assert ratio(10, 5) == 2
+        assert ratio(10, 0) == float("inf")
+        assert ratio(0, 0) == 0.0
+
+    def test_print_tables_returns_text(self, capsys):
+        table = Table("t", ["a"])
+        table.add_row(1)
+        text = print_tables([table], header="HEAD")
+        out = capsys.readouterr().out
+        assert "HEAD" in text and "HEAD" in out
+        assert "== t ==" in out

@@ -1,0 +1,48 @@
+"""Unit tests for MantleConfig."""
+
+import pytest
+
+from repro.core.config import MantleConfig
+
+
+def test_defaults_match_table2_shape():
+    cfg = MantleConfig()
+    cfg.validate()
+    assert cfg.num_db_servers == 18
+    assert cfg.index_replicas == 3
+    assert cfg.path_cache_k == 3
+    assert cfg.enable_path_cache
+    assert cfg.enable_delta_records
+    assert cfg.enable_raft_batching
+    assert cfg.enable_follower_read
+
+
+def test_base_disables_every_optimisation():
+    base = MantleConfig.base()
+    assert not base.enable_path_cache
+    assert not base.enable_delta_records
+    assert not base.enable_raft_batching
+    assert not base.enable_follower_read
+
+
+def test_copy_overrides_and_preserves():
+    cfg = MantleConfig()
+    tweaked = cfg.copy(path_cache_k=5, num_learners=2)
+    assert tweaked.path_cache_k == 5
+    assert tweaked.num_learners == 2
+    assert cfg.path_cache_k == 3
+    assert tweaked.num_db_servers == cfg.num_db_servers
+
+
+def test_copy_rejects_unknown_field():
+    with pytest.raises(AttributeError):
+        MantleConfig().copy(nonsense=True)
+
+
+def test_validate_rejects_bad_values():
+    with pytest.raises(ValueError):
+        MantleConfig(path_cache_k=-1).validate()
+    with pytest.raises(ValueError):
+        MantleConfig(index_replicas=0).validate()
+    with pytest.raises(ValueError):
+        MantleConfig(num_db_servers=5, num_db_shards=7).validate()

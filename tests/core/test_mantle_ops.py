@@ -1,0 +1,221 @@
+"""Integration tests: the full Mantle stack through the MantleClient facade."""
+
+import pytest
+
+from repro import MantleClient, MantleConfig
+from repro.errors import (
+    AlreadyExistsError,
+    IsADirectoryError,
+    NoSuchPathError,
+    NotEmptyError,
+    RenameLoopError,
+)
+from repro.types import Permission
+
+
+@pytest.fixture()
+def client():
+    c = MantleClient()
+    yield c
+    c.close()
+
+
+class TestObjects:
+    def test_create_and_stat(self, client):
+        client.mkdir("/data")
+        obj_id = client.create("/data/a.bin")
+        stat = client.objstat("/data/a.bin")
+        assert stat.id == obj_id
+        assert not stat.is_dir
+
+    def test_create_duplicate_rejected(self, client):
+        client.mkdir("/data")
+        client.create("/data/a.bin")
+        with pytest.raises(AlreadyExistsError):
+            client.create("/data/a.bin")
+
+    def test_create_in_missing_dir_rejected(self, client):
+        with pytest.raises(NoSuchPathError):
+            client.create("/nowhere/a.bin")
+
+    def test_delete(self, client):
+        client.mkdir("/data")
+        client.create("/data/a.bin")
+        client.delete("/data/a.bin")
+        assert not client.exists("/data/a.bin")
+
+    def test_delete_directory_rejected(self, client):
+        client.mkdir("/data")
+        with pytest.raises(IsADirectoryError):
+            client.delete("/data")
+
+    def test_objstat_missing(self, client):
+        client.mkdir("/data")
+        with pytest.raises(NoSuchPathError):
+            client.objstat("/data/ghost")
+
+
+class TestDirectories:
+    def test_mkdir_and_dirstat(self, client):
+        client.mkdir("/a")
+        client.mkdir("/a/b")
+        stat = client.dirstat("/a")
+        assert stat.is_dir
+        assert stat.entry_count == 1
+        assert stat.link_count == 1
+
+    def test_mkdir_parents(self, client):
+        client.mkdir("/x/y/z", parents=True)
+        assert client.exists("/x/y/z")
+
+    def test_mkdir_duplicate_rejected(self, client):
+        client.mkdir("/a")
+        with pytest.raises(AlreadyExistsError):
+            client.mkdir("/a")
+
+    def test_rmdir_empty(self, client):
+        client.mkdir("/a")
+        client.rmdir("/a")
+        assert not client.exists("/a")
+
+    def test_rmdir_non_empty_rejected(self, client):
+        client.mkdir("/a")
+        client.create("/a/obj")
+        with pytest.raises(NotEmptyError):
+            client.rmdir("/a")
+        client.mkdir("/b")
+        client.mkdir("/b/c")
+        with pytest.raises(NotEmptyError):
+            client.rmdir("/b")
+
+    def test_listdir_sorted_union(self, client):
+        client.mkdir("/a")
+        client.create("/a/z.bin")
+        client.mkdir("/a/dir1")
+        client.create("/a/b.bin")
+        assert client.listdir("/a") == ["b.bin", "dir1", "z.bin"]
+
+    def test_entry_counts_track_mutations(self, client):
+        client.mkdir("/a")
+        client.create("/a/one")
+        client.create("/a/two")
+        client.delete("/a/one")
+        assert client.dirstat("/a").entry_count == 1
+
+    def test_setattr_changes_permission(self, client):
+        client.mkdir("/a")
+        stat = client.setattr("/a", Permission.READ | Permission.EXECUTE)
+        assert stat.permission == Permission.READ | Permission.EXECUTE
+
+
+class TestRename:
+    def test_rename_moves_subtree(self, client):
+        client.mkdir("/src/inner", parents=True)
+        client.create("/src/inner/obj")
+        client.mkdir("/dst")
+        client.rename("/src/inner", "/dst/moved")
+        assert client.exists("/dst/moved/obj")
+        assert not client.exists("/src/inner")
+
+    def test_rename_loop_rejected(self, client):
+        client.mkdir("/a/b/c", parents=True)
+        with pytest.raises(RenameLoopError):
+            client.rename("/a", "/a/b/c/a2")
+
+    def test_rename_onto_existing_rejected(self, client):
+        client.mkdir("/a")
+        client.mkdir("/b")
+        client.mkdir("/b/a")
+        with pytest.raises(AlreadyExistsError):
+            client.rename("/a", "/b/a")
+        # Failed rename must release its lock: a later rename succeeds.
+        client.rename("/a", "/b/a2")
+        assert client.exists("/b/a2")
+
+    def test_rename_missing_source_rejected(self, client):
+        client.mkdir("/dst")
+        with pytest.raises(NoSuchPathError):
+            client.rename("/ghost", "/dst/g")
+
+    def test_rename_within_same_parent(self, client):
+        client.mkdir("/a")
+        client.mkdir("/a/old")
+        before = client.dirstat("/a").entry_count
+        client.rename("/a/old", "/a/new")
+        assert client.exists("/a/new")
+        assert client.dirstat("/a").entry_count == before
+
+    def test_deep_rename_keeps_resolution_consistent(self, client):
+        client.mkdir("/p/q/r/s", parents=True)
+        client.create("/p/q/r/s/obj")
+        # Warm the path cache, then move an ancestor.
+        client.objstat("/p/q/r/s/obj")
+        client.mkdir("/elsewhere")
+        client.rename("/p/q", "/elsewhere/q2")
+        assert client.objstat("/elsewhere/q2/r/s/obj").id > 0
+        with pytest.raises(NoSuchPathError):
+            client.objstat("/p/q/r/s/obj")
+
+
+class TestFacade:
+    def test_metrics_recorded(self, client):
+        client.mkdir("/a")
+        client.create("/a/obj")
+        client.objstat("/a/obj")
+        assert client.metrics.ops_completed == 3
+        assert client.metrics.latency["objstat"].count == 1
+
+    def test_failures_recorded_separately(self, client):
+        with pytest.raises(NoSuchPathError):
+            client.objstat("/ghost/obj")
+        assert client.metrics.ops_failed == 1
+
+    def test_simulated_time_advances(self, client):
+        before = client.simulated_time_us
+        client.mkdir("/a")
+        assert client.simulated_time_us > before
+
+    def test_cache_stats_shape(self, client):
+        client.mkdir("/a/b/c/d/e", parents=True)
+        client.dirstat("/a/b/c/d/e")
+        stats = client.cache_stats()
+        assert set(stats) == {"entries", "hits", "misses", "hit_rate",
+                              "memory_bytes"}
+
+    def test_context_manager(self):
+        with MantleClient() as c:
+            c.mkdir("/a")
+            assert c.exists("/a")
+
+    def test_stat_dispatches_both_kinds(self, client):
+        client.mkdir("/d")
+        client.create("/d/o")
+        assert client.stat("/d").is_dir
+        assert not client.stat("/d/o").is_dir
+
+
+class TestConfigurationVariants:
+    def _tiny(self, **overrides):
+        cfg = MantleConfig(num_db_servers=2, num_db_shards=4, num_proxies=2,
+                           index_replicas=3, index_cores=8, db_cores=8,
+                           proxy_cores=8).copy(**overrides)
+        return MantleClient(cfg)
+
+    def test_mantle_base_still_correct(self):
+        with self._tiny(enable_path_cache=False, enable_follower_read=False,
+                        enable_delta_records=False,
+                        enable_raft_batching=False) as c:
+            c.mkdir("/a/b", parents=True)
+            c.create("/a/b/obj")
+            assert c.objstat("/a/b/obj").id > 0
+
+    def test_single_replica_no_followers(self):
+        with self._tiny(index_replicas=1) as c:
+            c.mkdir("/solo")
+            assert c.exists("/solo")
+
+    def test_learners_configuration(self):
+        with self._tiny(num_learners=2) as c:
+            c.mkdir("/a")
+            for _ in range(6):  # round-robin across replicas incl. learners
+                assert c.dirstat("/a").is_dir

@@ -1,0 +1,66 @@
+"""Tests for the experiment registry and CLI (fast experiments only —
+the heavy figure runs are exercised by the benchmark suite)."""
+
+import pytest
+
+from repro.bench.report import Table
+from repro.experiments import REGISTRY, get_experiment, list_experiments
+from repro.experiments.cli import main
+
+
+EXPECTED_IDS = {
+    "fig03", "fig04", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "fig18", "fig19", "fig20", "table1", "table3",
+    "ext-rdma", "ext-coloc", "ext-failover",
+}
+
+
+class TestRegistry:
+    def test_every_paper_exhibit_registered(self):
+        assert set(REGISTRY) == EXPECTED_IDS
+
+    def test_list_is_sorted_and_complete(self):
+        ids = [e.id for e in list_experiments()]
+        assert ids == sorted(ids)
+        assert set(ids) == EXPECTED_IDS
+
+    def test_every_experiment_has_claim_and_title(self):
+        for experiment in list_experiments():
+            assert experiment.title
+            assert experiment.paper_claim
+
+    def test_get_unknown_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="fig03"):
+            get_experiment("fig99")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            get_experiment("fig03").run(scale="galactic")
+
+    def test_fig03_runs_and_returns_tables(self):
+        tables = get_experiment("fig03").run(scale="quick")
+        assert len(tables) == 2
+        assert all(isinstance(t, Table) for t in tables)
+        assert all(t.rows for t in tables)
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPECTED_IDS:
+            assert exp_id in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "fig03"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3a" in out
+        assert "ns4" in out
+
+    def test_run_with_scale_flag_validation(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig03", "--scale", "gigantic"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

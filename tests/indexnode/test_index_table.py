@@ -1,0 +1,170 @@
+"""Unit tests for the IndexTable."""
+
+import pytest
+
+from repro.errors import AlreadyExistsError, NoSuchPathError, RenameLoopError
+from repro.indexnode.index_table import IndexTable
+from repro.types import ROOT_ID, AccessMeta, Permission
+
+
+def build_tree():
+    """/a(2)/b(3)/c(4);  /x(5)"""
+    table = IndexTable()
+    table.insert(AccessMeta(pid=ROOT_ID, name="a", id=2))
+    table.insert(AccessMeta(pid=2, name="b", id=3))
+    table.insert(AccessMeta(pid=3, name="c", id=4))
+    table.insert(AccessMeta(pid=ROOT_ID, name="x", id=5))
+    return table
+
+
+class TestCrud:
+    def test_insert_get(self):
+        table = build_tree()
+        meta = table.get(2, "b")
+        assert meta.id == 3
+        assert len(table) == 4
+        assert table.memory_bytes == 4 * IndexTable.ENTRY_BYTES
+
+    def test_duplicate_key_rejected(self):
+        table = build_tree()
+        with pytest.raises(AlreadyExistsError):
+            table.insert(AccessMeta(pid=ROOT_ID, name="a", id=99))
+
+    def test_duplicate_id_rejected(self):
+        table = build_tree()
+        with pytest.raises(AlreadyExistsError):
+            table.insert(AccessMeta(pid=5, name="fresh", id=2))
+
+    def test_root_id_reserved(self):
+        table = IndexTable()
+        with pytest.raises(AlreadyExistsError):
+            table.insert(AccessMeta(pid=5, name="evil", id=ROOT_ID))
+
+    def test_remove(self):
+        table = build_tree()
+        table.remove(3, "c")
+        assert table.get(3, "c") is None
+        assert table.locate(4) is None
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(NoSuchPathError):
+            build_tree().remove(9, "nope")
+
+    def test_locate_reverse_map(self):
+        table = build_tree()
+        assert table.locate(3) == (2, "b")
+        assert table.locate(ROOT_ID) is None
+
+    def test_replace_updates_permission(self):
+        table = build_tree()
+        meta = table.get(2, "b")
+        import dataclasses
+        table.replace(dataclasses.replace(meta, permission=Permission.READ))
+        assert table.get(2, "b").permission == Permission.READ
+
+
+class TestResolution:
+    def test_resolve_full_chain(self):
+        table = build_tree()
+        dir_id, perm, probes = table.resolve_dir(["a", "b", "c"])
+        assert dir_id == 4
+        assert probes == 3
+        assert perm == Permission.ALL
+
+    def test_resolve_empty_parts_is_root(self):
+        table = build_tree()
+        dir_id, perm, probes = table.resolve_dir([])
+        assert dir_id == ROOT_ID
+        assert probes == 0
+
+    def test_resolve_missing_component(self):
+        table = build_tree()
+        with pytest.raises(NoSuchPathError):
+            table.resolve_dir(["a", "ghost", "c"], path_for_errors="/a/ghost/c")
+
+    def test_permission_intersection(self):
+        table = IndexTable()
+        table.insert(AccessMeta(pid=ROOT_ID, name="a", id=2,
+                                permission=Permission.READ | Permission.EXECUTE))
+        table.insert(AccessMeta(pid=2, name="b", id=3,
+                                permission=Permission.ALL))
+        _, perm, _ = table.resolve_dir(["a", "b"])
+        assert perm == Permission.READ | Permission.EXECUTE
+
+    def test_resolve_from_midpoint(self):
+        table = build_tree()
+        dir_id, _, probes = table.resolve_dir(["c"], start_id=3)
+        assert dir_id == 4
+        assert probes == 1
+
+    def test_path_of(self):
+        table = build_tree()
+        assert table.path_of(4) == "/a/b/c"
+        assert table.path_of(ROOT_ID) == "/"
+
+    def test_ancestor_chain(self):
+        table = build_tree()
+        assert table.ancestor_chain(4) == [4, 3, 2, ROOT_ID]
+        assert table.ancestor_chain(ROOT_ID) == [ROOT_ID]
+
+    def test_is_ancestor(self):
+        table = build_tree()
+        assert table.is_ancestor(2, 4)
+        assert table.is_ancestor(4, 4)
+        assert not table.is_ancestor(4, 2)
+        assert not table.is_ancestor(5, 4)
+
+
+class TestLocks:
+    def test_lock_cycle(self):
+        table = build_tree()
+        table.set_lock(2, "b", "uuid-1")
+        assert table.get(2, "b").locked
+        assert table.clear_lock(2, "b", "uuid-1")
+        assert not table.get(2, "b").locked
+
+    def test_clear_with_wrong_owner_fails(self):
+        table = build_tree()
+        table.set_lock(2, "b", "uuid-1")
+        assert not table.clear_lock(2, "b", "uuid-2")
+        assert table.get(2, "b").locked
+
+    def test_clear_unlocked_is_noop(self):
+        table = build_tree()
+        assert not table.clear_lock(2, "b")
+
+    def test_locked_on_chain(self):
+        table = build_tree()
+        table.set_lock(2, "b", "u1")  # dir id 3
+        locked = table.locked_on_chain(4, ROOT_ID)
+        assert locked == [3]
+        # Stop at the LCA: nothing above id 3 is examined.
+        assert table.locked_on_chain(4, 3) == []
+
+
+class TestRename:
+    def test_loop_detection(self):
+        table = build_tree()
+        with pytest.raises(RenameLoopError):
+            table.check_rename_loop(src_id=2, dst_parent_id=4)  # /a under /a/b/c
+        table.check_rename_loop(src_id=4, dst_parent_id=5)  # fine
+
+    def test_rename_moves_entry_and_clears_lock(self):
+        table = build_tree()
+        table.set_lock(2, "b", "u1")
+        moved = table.rename(2, "b", 5, "b2")
+        assert table.get(2, "b") is None
+        assert table.get(5, "b2").id == 3
+        assert not moved.locked
+        assert table.locate(3) == (5, "b2")
+        # Children keep resolving through the moved directory.
+        assert table.path_of(4) == "/x/b2/c"
+
+    def test_rename_missing_source(self):
+        with pytest.raises(NoSuchPathError):
+            build_tree().rename(9, "nope", 5, "y")
+
+    def test_rename_destination_conflict(self):
+        table = build_tree()
+        with pytest.raises(AlreadyExistsError):
+            table.rename(2, "b", ROOT_ID, "x")

@@ -1,0 +1,95 @@
+"""Unit tests for the Invalidator (PrefixTree + RemovalList coordination)."""
+
+from repro.indexnode.invalidator import Invalidator
+from repro.indexnode.path_cache import TopDirPathCache
+from repro.types import Permission
+
+
+def build(k=2):
+    cache = TopDirPathCache(k=k)
+    return cache, Invalidator(cache)
+
+
+def test_try_cache_inserts_and_mirrors_in_tree():
+    cache, inv = build()
+    v = inv.version()
+    assert inv.try_cache("/a/b", 5, Permission.ALL, v)
+    assert "/a/b" in cache
+    assert "/a/b" in inv.prefix_tree
+
+
+def test_try_cache_rejects_duplicate():
+    cache, inv = build()
+    v = inv.version()
+    inv.try_cache("/a/b", 5, Permission.ALL, v)
+    assert not inv.try_cache("/a/b", 5, Permission.ALL, inv.version())
+
+
+def test_try_cache_rejects_on_version_race():
+    """§5.1.2: a modification racing the lookup forbids caching."""
+    cache, inv = build()
+    v = inv.version()
+    inv.mark_modifying("/elsewhere")  # bumps the version
+    assert not inv.try_cache("/a/b", 5, Permission.ALL, v)
+    assert "/a/b" not in cache
+
+
+def test_try_cache_rejects_when_marked():
+    cache, inv = build()
+    inv.mark_modifying("/a")
+    assert not inv.try_cache("/a/b", 5, Permission.ALL, inv.version())
+
+
+def test_blocking_modification_prefix_match():
+    cache, inv = build()
+    inv.mark_modifying("/a/b")
+    assert inv.blocking_modification("/a/b/c/d") == "/a/b"
+    assert inv.blocking_modification("/a/bc") is None
+    assert inv.blocking_modification("/z") is None
+
+
+def test_unmark_restores_lookups():
+    cache, inv = build()
+    inv.mark_modifying("/a")
+    inv.unmark("/a")
+    assert inv.blocking_modification("/a/b") is None
+
+
+def test_purge_removes_affected_range_only():
+    cache, inv = build()
+    for prefix, dir_id in (("/a/b", 5), ("/a/b/c", 6), ("/z", 9)):
+        inv.try_cache(prefix, dir_id, Permission.ALL, inv.version())
+    inv.mark_modifying("/a/b")
+    removed = inv.purge_pending()
+    assert removed == 2
+    assert "/z" in cache
+    assert "/a/b" not in cache and "/a/b/c" not in cache
+    # RemovalList drained: lookups under /a/b may use the cache again.
+    assert inv.blocking_modification("/a/b/x") is None
+
+
+def test_purge_empty_is_cheap_noop():
+    cache, inv = build()
+    assert inv.purge_pending() == 0
+    assert inv.purge_rounds == 0
+
+
+def test_on_rmdir_drops_own_entry_without_marking():
+    cache, inv = build()
+    inv.try_cache("/a/b", 5, Permission.ALL, inv.version())
+    inv.on_rmdir("/a/b")
+    assert "/a/b" not in cache
+    assert inv.blocking_modification("/a/b") is None  # no RemovalList entry
+
+
+def test_on_rmdir_uncached_directory_is_noop():
+    cache, inv = build()
+    inv.on_rmdir("/never/cached")
+    assert inv.purged_entries == 0
+
+
+def test_pending_paths_listing():
+    cache, inv = build()
+    inv.mark_modifying("/b")
+    inv.mark_modifying("/a")
+    assert inv.pending_paths() == ["/a", "/b"]

@@ -1,0 +1,89 @@
+"""Raft catch-up and no-op commit tests (recovery paths)."""
+
+from repro.raft.node import NOOP_COMMAND, Role
+from tests.raft.test_raft import build_group, elect
+
+
+class TestFollowerCatchUp:
+    def test_partitioned_follower_catches_up_on_heal(self):
+        """A follower whose host drops messages misses a batch of commits;
+        once its host recovers, AppendEntries backfill brings it level."""
+        sim, group = build_group(voters=3)
+
+        def phase1():
+            leader = yield from group.wait_for_leader()
+            return leader
+
+        leader = sim.run_process(phase1())
+        follower = next(n for n in group.nodes.values()
+                        if n.role is Role.FOLLOWER)
+        follower.host.crash()  # messages to it are dropped, node not stopped
+
+        def propose_burst():
+            for i in range(20):
+                yield leader.propose(f"cmd-{i}")
+
+        sim.run_process(propose_burst())
+        assert follower.last_applied == 0  # it heard nothing
+
+        follower.host.recover()
+        sim.run(until=sim.now + 500_000)  # heartbeats trigger backfill
+        assert follower.last_applied >= 20
+        assert [c for c in follower.state_machine.commands
+                if c != NOOP_COMMAND] == [f"cmd-{i}" for i in range(20)]
+
+    def test_commit_progress_with_one_voter_down(self):
+        """3 voters tolerate one silent member: commits proceed on 2/3."""
+        sim, group = build_group(voters=3)
+        leader = sim.run_process(group.wait_for_leader())
+        victim = next(n for n in group.nodes.values()
+                      if n.role is Role.FOLLOWER)
+        victim.host.crash()
+
+        def body():
+            results = []
+            for i in range(5):
+                result = yield leader.propose(f"c{i}")
+                results.append(result)
+            return results
+
+        results = sim.run_process(body())
+        assert len(results) == 5
+
+
+class TestNoopOnElection:
+    def test_new_leader_commits_prior_term_entries(self):
+        """Entries committed under term 1 must become applied on the term-2
+        leader even with no client proposals after the election (the no-op
+        mechanism)."""
+        sim, group = build_group(voters=3)
+
+        def phase1():
+            leader = yield from group.wait_for_leader()
+            for i in range(3):
+                yield leader.propose(f"pre-{i}")
+            return leader
+
+        old = sim.run_process(phase1())
+        sim.run(until=sim.now + 50_000)  # let replication settle
+        group.crash_node(old.id)
+        new = sim.run_process(group.wait_for_leader())
+        # No client proposals: the no-op alone must advance commit/apply.
+        sim.run(until=sim.now + 300_000)
+        applied = [c for c in new.state_machine.commands if c != NOOP_COMMAND]
+        assert applied == ["pre-0", "pre-1", "pre-2"]
+        assert new.last_applied >= 3
+
+    def test_noop_not_passed_to_state_machine(self):
+        sim, group = build_group(voters=3)
+
+        def phase1():
+            leader = yield from group.wait_for_leader()
+            yield leader.propose("real")
+            return leader
+
+        old = sim.run_process(phase1())
+        group.crash_node(old.id)
+        new = sim.run_process(group.wait_for_leader())
+        sim.run(until=sim.now + 300_000)
+        assert NOOP_COMMAND not in new.state_machine.commands

@@ -1,0 +1,87 @@
+"""Unit tests for the replicated log."""
+
+import pytest
+
+from repro.raft.log import LogEntry, RaftLog
+
+
+def test_empty_log_sentinel():
+    log = RaftLog()
+    assert log.last_index == 0
+    assert log.last_term == 0
+    assert log.term_at(0) == 0
+    assert log.term_at(1) is None
+    assert log.matches(0, 0)
+
+
+def test_append_assigns_indexes():
+    log = RaftLog()
+    e1 = log.append(1, "a")
+    e2 = log.append(1, "b")
+    assert (e1.index, e2.index) == (1, 2)
+    assert log.last_index == 2
+    assert log.entry(1).command == "a"
+
+
+def test_entry_out_of_range():
+    log = RaftLog()
+    with pytest.raises(IndexError):
+        log.entry(1)
+
+
+def test_entries_from_with_limit():
+    log = RaftLog()
+    for i in range(10):
+        log.append(1, i)
+    chunk = log.entries_from(4, limit=3)
+    assert [e.command for e in chunk] == [3, 4, 5]
+    assert log.entries_from(11) == []
+    assert [e.command for e in log.entries_from(0, limit=2)] == [0, 1]
+
+
+def test_matches_consistency_check():
+    log = RaftLog()
+    log.append(1, "a")
+    log.append(2, "b")
+    assert log.matches(2, 2)
+    assert not log.matches(2, 1)
+    assert not log.matches(5, 1)
+
+
+def test_merge_appends_new_entries():
+    log = RaftLog()
+    log.append(1, "a")
+    added = log.merge(1, [LogEntry(1, 2, "b"), LogEntry(1, 3, "c")])
+    assert added == 2
+    assert log.last_index == 3
+
+
+def test_merge_is_idempotent():
+    log = RaftLog()
+    log.append(1, "a")
+    log.append(1, "b")
+    added = log.merge(0, [LogEntry(1, 1, "a"), LogEntry(1, 2, "b")])
+    assert added == 0
+    assert log.last_index == 2
+
+
+def test_merge_truncates_conflicting_suffix():
+    log = RaftLog()
+    log.append(1, "a")
+    log.append(1, "stale")
+    log.append(1, "stale2")
+    added = log.merge(1, [LogEntry(2, 2, "fresh")])
+    assert added == 1
+    assert log.last_index == 2
+    assert log.entry(2).command == "fresh"
+    assert log.entry(2).term == 2
+
+
+def test_up_to_date_election_restriction():
+    log = RaftLog()
+    log.append(2, "a")
+    assert log.up_to_date(1, 3)       # higher term wins
+    assert log.up_to_date(1, 2)       # same term, same length
+    assert log.up_to_date(5, 2)       # same term, longer log
+    assert not log.up_to_date(0, 2)   # same term, shorter log
+    assert not log.up_to_date(9, 1)   # lower term loses regardless of length

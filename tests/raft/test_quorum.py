@@ -1,0 +1,91 @@
+"""Quorum-boundary tests: 5-voter groups under progressive failures."""
+
+import pytest
+
+from repro.errors import ServiceUnavailableError
+from repro.raft.node import Role
+from tests.raft.test_raft import ListMachine, build_group
+
+
+def _crash_followers(sim, group, count):
+    crashed = 0
+    for node in list(group.nodes.values()):
+        if crashed == count:
+            break
+        if node.role is Role.FOLLOWER:
+            group.crash_node(node.id)
+            crashed += 1
+    assert crashed == count
+
+
+class TestFiveVoters:
+    def test_two_failures_tolerated(self):
+        sim, group = build_group(voters=5)
+        leader = sim.run_process(group.wait_for_leader())
+        _crash_followers(sim, group, 2)
+
+        def body():
+            results = []
+            for i in range(4):
+                results.append((yield leader.propose(f"c{i}")))
+            return results
+
+        assert len(sim.run_process(body())) == 4
+
+    def test_three_failures_stall_commits(self):
+        sim, group = build_group(voters=5)
+        leader = sim.run_process(group.wait_for_leader())
+        _crash_followers(sim, group, 3)
+        waiter = leader.propose("doomed")
+        sim.run(until=sim.now + 500_000)
+        # Quorum is 3 of 5; with only 2 alive the entry cannot commit.
+        assert not waiter.triggered or not waiter.ok
+        waiter.defused()
+
+    def test_no_split_brain_across_terms(self):
+        """After repeated leader crashes there is never more than one
+        leader per term."""
+        sim, group = build_group(voters=5)
+        seen = {}
+        for _round in range(3):
+            leader = sim.run_process(group.wait_for_leader())
+            assert seen.setdefault(leader.current_term, leader.id) == leader.id
+            group.crash_node(leader.id)
+        alive_voters = [n for n in group.nodes.values() if not n._stopped]
+        assert len(alive_voters) == 2  # quorum lost; no further leader
+        sim.run(until=sim.now + 500_000)
+        assert group.current_leader() is None
+
+
+class TestLeaderlessBehaviour:
+    def test_wait_for_leader_times_out(self):
+        sim, group = build_group(voters=3)
+        sim.run_process(group.wait_for_leader())
+        for node_id in list(group.nodes):
+            group.crash_node(node_id)
+
+        def body():
+            yield from group.wait_for_leader(timeout_us=200_000)
+
+        with pytest.raises(ServiceUnavailableError):
+            sim.run_process(body())
+
+    def test_leader_or_raise_when_none(self):
+        sim, group = build_group(voters=3)
+        with pytest.raises(ServiceUnavailableError):
+            group.leader_or_raise()  # before any election completes
+
+
+class TestGroupValidation:
+    def test_host_count_must_match(self):
+        from repro.raft.group import RaftGroup
+        from repro.sim.core import Simulator
+        from repro.sim.host import Host
+        from repro.sim.network import Network
+        sim = Simulator()
+        net = Network(sim)
+        hosts = [Host(sim, "only-one")]
+        with pytest.raises(ValueError):
+            RaftGroup(sim, net, hosts, ListMachine, num_voters=3)
+        with pytest.raises(ValueError):
+            RaftGroup(sim, net, [], ListMachine, num_voters=0)

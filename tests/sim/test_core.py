@@ -1,0 +1,337 @@
+"""Unit tests for the DES kernel (repro.sim.core)."""
+
+import pytest
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(5)
+        return sim.now
+
+    assert sim.run_process(body()) == 5.0
+
+
+def test_zero_delay_timeout_runs_at_current_time():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(0)
+        return sim.now
+
+    assert sim.run_process(body()) == 0.0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulator()
+    trace = []
+
+    def body():
+        for delay in (1, 2, 3):
+            yield sim.timeout(delay)
+            trace.append(sim.now)
+
+    sim.process(body())
+    sim.run()
+    assert trace == [1.0, 3.0, 6.0]
+
+
+def test_processes_interleave_deterministically():
+    sim = Simulator()
+    trace = []
+
+    def worker(name, delay):
+        yield sim.timeout(delay)
+        trace.append((name, sim.now))
+
+    sim.process(worker("a", 2))
+    sim.process(worker("b", 1))
+    sim.process(worker("c", 2))
+    sim.run()
+    assert trace == [("b", 1.0), ("a", 2.0), ("c", 2.0)]
+
+
+def test_fifo_tie_break_on_equal_timestamps():
+    sim = Simulator()
+    trace = []
+
+    def worker(name):
+        yield sim.timeout(1)
+        trace.append(name)
+
+    for name in "abcde":
+        sim.process(worker(name))
+    sim.run()
+    assert trace == list("abcde")
+
+
+def test_process_return_value_via_join():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(3)
+        return "done"
+
+    def parent():
+        result = yield sim.process(child())
+        return (result, sim.now)
+
+    assert sim.run_process(parent()) == ("done", 3.0)
+
+
+def test_yield_from_subgenerator():
+    sim = Simulator()
+
+    def sub():
+        yield sim.timeout(2)
+        return 42
+
+    def body():
+        value = yield from sub()
+        return value + sim.now
+
+    assert sim.run_process(body()) == 44.0
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    trace = []
+
+    def waiter():
+        value = yield gate
+        trace.append((value, sim.now))
+
+    def opener():
+        yield sim.timeout(7)
+        gate.succeed("open")
+
+    sim.process(waiter())
+    sim.process(opener())
+    sim.run()
+    assert trace == [("open", 7.0)]
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    gate = sim.event()
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            return str(exc)
+
+    def failer():
+        yield sim.timeout(1)
+        gate.fail(ValueError("boom"))
+
+    proc = sim.process(waiter())
+    sim.process(failer())
+    sim.run()
+    assert proc.value == "boom"
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_unhandled_process_exception_surfaces_at_run():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1)
+        raise RuntimeError("crash")
+
+    sim.process(body())
+    with pytest.raises(RuntimeError, match="crash"):
+        sim.run()
+
+
+def test_run_process_reraises_failure():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1)
+        raise KeyError("nope")
+
+    with pytest.raises(KeyError):
+        sim.run_process(body())
+
+
+def test_joining_failed_process_propagates():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+        raise ValueError("child died")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    assert sim.run_process(parent()) == "caught child died"
+
+
+def test_yield_non_event_is_an_error():
+    sim = Simulator()
+
+    def body():
+        yield 42
+
+    sim.process(body())
+    with pytest.raises(SimulationError, match="yielded a int"):
+        sim.run()
+
+
+def test_already_processed_event_resumes_immediately():
+    sim = Simulator()
+    gate = sim.event()
+    gate.succeed("early")
+
+    def late_waiter():
+        yield sim.timeout(5)
+        value = yield gate
+        return (value, sim.now)
+
+    assert sim.run_process(late_waiter()) == ("early", 5.0)
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+
+    def body():
+        t1 = sim.timeout(1, "a")
+        t2 = sim.timeout(4, "b")
+        values = yield AllOf(sim, [t1, t2])
+        return (values, sim.now)
+
+    values, when = sim.run_process(body())
+    assert values == ["a", "b"]
+    assert when == 4.0
+
+
+def test_all_of_empty_triggers_immediately():
+    sim = Simulator()
+
+    def body():
+        values = yield AllOf(sim, [])
+        return values
+
+    assert sim.run_process(body()) == []
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+
+    def body():
+        slow = sim.timeout(10, "slow")
+        fast = sim.timeout(2, "fast")
+        index, value = yield AnyOf(sim, [slow, fast])
+        return (index, value, sim.now)
+
+    assert sim.run_process(body()) == (1, "fast", 2.0)
+
+
+def test_interrupt_raises_in_process():
+    sim = Simulator()
+
+    def victim():
+        try:
+            yield sim.timeout(100)
+        except Interrupt as intr:
+            return ("interrupted", intr.cause, sim.now)
+
+    def attacker(proc):
+        yield sim.timeout(3)
+        proc.interrupt("failover")
+
+    proc = sim.process(victim())
+    sim.process(attacker(proc))
+    sim.run()
+    assert proc.value == ("interrupted", "failover", 3.0)
+
+
+def test_interrupt_after_completion_is_noop():
+    sim = Simulator()
+
+    def victim():
+        yield sim.timeout(1)
+        return "fine"
+
+    proc = sim.process(victim())
+    sim.run()
+    proc.interrupt("too late")
+    sim.run()
+    assert proc.value == "fine"
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    trace = []
+
+    def body():
+        while True:
+            yield sim.timeout(10)
+            trace.append(sim.now)
+
+    sim.process(body())
+    sim.run(until=35)
+    assert trace == [10.0, 20.0, 30.0]
+    assert sim.now == 35.0
+
+
+def test_run_process_detects_deadlock():
+    sim = Simulator()
+    gate = sim.event()
+
+    def body():
+        yield gate  # never triggered
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_process(body())
+
+
+def test_immediate_return_process():
+    sim = Simulator()
+
+    def body():
+        return "instant"
+        yield  # pragma: no cover
+
+    assert sim.run_process(body()) == "instant"
+
+
+def test_many_processes_scale():
+    sim = Simulator()
+    done = []
+
+    def worker(i):
+        yield sim.timeout(i % 17)
+        done.append(i)
+
+    for i in range(2000):
+        sim.process(worker(i))
+    sim.run()
+    assert len(done) == 2000

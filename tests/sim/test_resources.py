@@ -1,0 +1,180 @@
+"""Unit tests for Resource and Store (repro.sim.resources)."""
+
+import pytest
+
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource, Store
+from repro.sim.core import SimulationError
+
+
+def hold(sim, res, duration, trace, name):
+    req = res.request()
+    yield req
+    try:
+        trace.append((name, "got", sim.now))
+        yield sim.timeout(duration)
+    finally:
+        res.release(req)
+
+
+def test_capacity_one_serializes():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    trace = []
+    for name in ("a", "b", "c"):
+        sim.process(hold(sim, res, 10, trace, name))
+    sim.run()
+    assert trace == [("a", "got", 0.0), ("b", "got", 10.0), ("c", "got", 20.0)]
+
+
+def test_capacity_two_allows_two_concurrent():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    trace = []
+    for name in ("a", "b", "c"):
+        sim.process(hold(sim, res, 10, trace, name))
+    sim.run()
+    assert trace == [("a", "got", 0.0), ("b", "got", 0.0), ("c", "got", 10.0)]
+
+
+def test_fifo_ordering_of_waiters():
+    sim = Simulator()
+    res = Resource(sim, 1)
+    trace = []
+    for name in "abcdef":
+        sim.process(hold(sim, res, 1, trace, name))
+    sim.run()
+    assert [t[0] for t in trace] == list("abcdef")
+
+
+def test_invalid_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, 0)
+
+
+def test_release_unheld_request_rejected():
+    sim = Simulator()
+    res = Resource(sim, 1)
+
+    def body():
+        req = res.request()
+        yield req
+        res.release(req)
+        res.release(req)
+
+    with pytest.raises(SimulationError):
+        sim.run_process(body())
+
+
+def test_cancel_waiting_request():
+    sim = Simulator()
+    res = Resource(sim, 1)
+    trace = []
+
+    def canceller():
+        req1 = res.request()
+        yield req1
+        req2 = res.request()  # queued behind ourselves
+        req2.cancel()
+        res.release(req2)  # releasing a cancelled request is a no-op
+        yield sim.timeout(5)
+        res.release(req1)
+        trace.append(sim.now)
+
+    sim.process(canceller())
+    sim.run()
+    assert trace == [5.0]
+    assert res.in_use == 0
+    assert res.queued == 0
+
+
+def test_peak_and_grant_accounting():
+    sim = Simulator()
+    res = Resource(sim, 3)
+    trace = []
+    for name in "abcd":
+        sim.process(hold(sim, res, 4, trace, name))
+    sim.run()
+    assert res.peak_in_use == 3
+    assert res.total_grants == 4
+    assert res.total_wait_time == 4.0  # 'd' waited one full hold
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+
+    def body():
+        item = yield store.get()
+        return item
+
+    assert sim.run_process(body()) == "x"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def consumer():
+        item = yield store.get()
+        return (item, sim.now)
+
+    def producer():
+        yield sim.timeout(9)
+        store.put("late")
+
+    proc = sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert proc.value == ("late", 9.0)
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    store.put(1)
+    store.put(2)
+    store.put(3)
+    sim.process(consumer())
+    sim.run()
+    assert got == [1, 2, 3]
+
+
+def test_store_multiple_getters_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(name):
+        item = yield store.get()
+        got.append((name, item))
+
+    sim.process(consumer("first"))
+    sim.process(consumer("second"))
+
+    def producer():
+        yield sim.timeout(1)
+        store.put("a")
+        store.put("b")
+
+    sim.process(producer())
+    sim.run()
+    assert got == [("first", "a"), ("second", "b")]
+
+
+def test_store_drain():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert store.drain() == [1, 2]
+    assert len(store) == 0

@@ -1,0 +1,162 @@
+"""Unit tests for the measurement plumbing (repro.sim.stats)."""
+
+import pytest
+
+from repro.sim.stats import (
+    PHASE_EXECUTION,
+    PHASE_LOOKUP,
+    LatencyRecorder,
+    MetricSet,
+    OpContext,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 50) == 5.0
+
+    def test_median_of_two(self):
+        assert percentile([0.0, 10.0], 50) == 5.0
+
+    def test_extremes(self):
+        data = sorted(float(i) for i in range(1, 101))
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 100.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 100.0], 25) == 25.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencyRecorder:
+    def test_basic_stats(self):
+        rec = LatencyRecorder("op")
+        rec.extend([1.0, 2.0, 3.0, 4.0])
+        assert rec.count == 4
+        assert rec.mean == 2.5
+        assert rec.min == 1.0
+        assert rec.max == 4.0
+        assert rec.total == 10.0
+
+    def test_percentiles_after_unsorted_adds(self):
+        rec = LatencyRecorder()
+        rec.extend([9.0, 1.0, 5.0])
+        assert rec.p50 == 5.0
+        assert rec.p(100) == 9.0
+
+    def test_negative_sample_rejected(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ValueError):
+            rec.add(-1.0)
+
+    def test_empty_recorder_reports_zeros(self):
+        rec = LatencyRecorder()
+        assert rec.mean == 0.0
+        assert rec.p99 == 0.0
+        assert rec.cdf() == []
+
+    def test_cdf_monotone(self):
+        rec = LatencyRecorder()
+        rec.extend(float(i) for i in range(100))
+        points = rec.cdf(points=10)
+        lats = [p[0] for p in points]
+        fracs = [p[1] for p in points]
+        assert lats == sorted(lats)
+        assert fracs == sorted(fracs)
+        assert fracs[-1] == 1.0
+        assert lats[-1] == 99.0
+
+    def test_fraction_above(self):
+        rec = LatencyRecorder()
+        rec.extend([1.0, 2.0, 3.0, 4.0])
+        assert rec.fraction_above(2.0) == 0.5
+        assert rec.fraction_above(100.0) == 0.0
+        assert rec.fraction_above(0.0) == 1.0
+
+    def test_sorted_cache_invalidated_by_add(self):
+        rec = LatencyRecorder()
+        rec.add(10.0)
+        assert rec.p50 == 10.0
+        rec.add(0.0)
+        assert rec.p50 == 5.0
+
+
+class TestOpContext:
+    def test_phase_accounting(self):
+        ctx = OpContext("mkdir")
+        ctx.begin(PHASE_LOOKUP, 100.0)
+        ctx.end(PHASE_LOOKUP, 130.0)
+        ctx.begin(PHASE_EXECUTION, 130.0)
+        ctx.end(PHASE_EXECUTION, 180.0)
+        assert ctx.phase_time(PHASE_LOOKUP) == 30.0
+        assert ctx.phase_time(PHASE_EXECUTION) == 50.0
+
+    def test_phase_reentry_accumulates(self):
+        ctx = OpContext("op")
+        ctx.begin(PHASE_LOOKUP, 0.0)
+        ctx.end(PHASE_LOOKUP, 10.0)
+        ctx.begin(PHASE_LOOKUP, 20.0)
+        ctx.end(PHASE_LOOKUP, 25.0)
+        assert ctx.phase_time(PHASE_LOOKUP) == 15.0
+
+    def test_end_without_begin_rejected(self):
+        ctx = OpContext("op")
+        with pytest.raises(ValueError):
+            ctx.end(PHASE_LOOKUP, 1.0)
+
+    def test_latency_requires_start_finish(self):
+        ctx = OpContext("op")
+        assert ctx.latency == 0.0
+        ctx.start, ctx.finish = 10.0, 35.0
+        assert ctx.latency == 25.0
+
+
+class TestMetricSet:
+    def _ctx(self, op, start, finish, rpcs=1, phases=None):
+        ctx = OpContext(op)
+        ctx.start, ctx.finish = start, finish
+        ctx.rpcs = rpcs
+        if phases:
+            for name, dur in phases.items():
+                ctx.begin(name, 0.0)
+                ctx.end(name, dur)
+        return ctx
+
+    def test_throughput_kops(self):
+        ms = MetricSet()
+        ms.started_at, ms.finished_at = 0.0, 1_000_000.0  # one second
+        for i in range(500):
+            ms.record(self._ctx("objstat", 0.0, 100.0))
+        assert ms.throughput_kops() == pytest.approx(0.5)
+        assert ms.throughput_kops("objstat") == pytest.approx(0.5)
+        assert ms.throughput_kops("missing") == 0.0
+
+    def test_phase_breakdown_defaults_missing_to_zero(self):
+        ms = MetricSet()
+        ms.record(self._ctx("mkdir", 0, 50, phases={PHASE_LOOKUP: 30.0}))
+        breakdown = ms.phase_breakdown("mkdir")
+        assert breakdown[PHASE_LOOKUP] == 30.0
+        assert breakdown[PHASE_EXECUTION] == 0.0
+
+    def test_mean_rpcs(self):
+        ms = MetricSet()
+        ms.record(self._ctx("objstat", 0, 10, rpcs=1))
+        ms.record(self._ctx("objstat", 0, 10, rpcs=3))
+        assert ms.mean_rpcs("objstat") == 2.0
+
+    def test_failures_and_retries_counted(self):
+        ms = MetricSet()
+        ctx = self._ctx("mkdir", 0, 10)
+        ctx.retries = 4
+        ms.record_failure(ctx)
+        assert ms.ops_failed == 1
+        assert ms.retries == 4
+        assert ms.ops_completed == 0

@@ -1,0 +1,126 @@
+"""Unit + property tests for the RemovalList skiplist."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.skiplist import SkipList
+
+_key = st.text(alphabet=string.ascii_lowercase + "/", min_size=1, max_size=8)
+
+
+class TestBasics:
+    def test_insert_get(self):
+        sl = SkipList()
+        assert sl.insert("/a", 1)
+        assert sl.get("/a") == 1
+        assert len(sl) == 1
+
+    def test_overwrite_returns_false(self):
+        sl = SkipList()
+        sl.insert("/a", 1)
+        assert not sl.insert("/a", 2)
+        assert sl.get("/a") == 2
+        assert len(sl) == 1
+
+    def test_remove(self):
+        sl = SkipList()
+        sl.insert("/a")
+        assert sl.remove("/a")
+        assert "/a" not in sl
+        assert not sl.remove("/a")
+
+    def test_get_default(self):
+        sl = SkipList()
+        assert sl.get("/missing", "fallback") == "fallback"
+        assert sl.get("/missing") is None
+
+    def test_items_sorted(self):
+        sl = SkipList()
+        for key in ("/m", "/a", "/z", "/c"):
+            sl.insert(key)
+        assert list(sl.keys()) == ["/a", "/c", "/m", "/z"]
+
+    def test_version_bumps_on_mutation_only(self):
+        sl = SkipList()
+        v0 = sl.version
+        sl.insert("/a")
+        v1 = sl.version
+        assert v1 > v0
+        sl.get("/a")
+        assert sl.version == v1
+        sl.remove("/a")
+        assert sl.version > v1
+
+    def test_pop_all(self):
+        sl = SkipList()
+        sl.insert("/b", 2)
+        sl.insert("/a", 1)
+        drained = sl.pop_all()
+        assert drained == [("/a", 1), ("/b", 2)]
+        assert len(sl) == 0
+        assert list(sl.items()) == []
+
+    def test_pop_all_empty_does_not_bump_version(self):
+        sl = SkipList()
+        v = sl.version
+        assert sl.pop_all() == []
+        assert sl.version == v
+
+
+class TestContainsPrefixOf:
+    def test_exact_match(self):
+        sl = SkipList()
+        sl.insert("/a/b")
+        assert sl.contains_prefix_of("/a/b") == "/a/b"
+
+    def test_ancestor_match(self):
+        sl = SkipList()
+        sl.insert("/a")
+        assert sl.contains_prefix_of("/a/b/c") == "/a"
+
+    def test_component_boundary(self):
+        sl = SkipList()
+        sl.insert("/a/bc")
+        assert sl.contains_prefix_of("/a/b") is None
+        assert sl.contains_prefix_of("/a/bcd") is None
+
+    def test_empty_list_fast_path(self):
+        sl = SkipList()
+        assert sl.contains_prefix_of("/anything") is None
+
+    def test_descendant_is_not_prefix(self):
+        sl = SkipList()
+        sl.insert("/a/b/c")
+        assert sl.contains_prefix_of("/a/b") is None
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.dictionaries(_key, st.integers(), max_size=40))
+    def test_matches_dict_semantics(self, mapping):
+        sl = SkipList()
+        for key, value in mapping.items():
+            sl.insert(key, value)
+        assert len(sl) == len(mapping)
+        assert list(sl.keys()) == sorted(mapping)
+        for key, value in mapping.items():
+            assert sl.get(key) == value
+        for key in mapping:
+            assert sl.remove(key)
+        assert len(sl) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), _key), max_size=60))
+    def test_interleaved_ops_stay_sorted(self, ops):
+        sl = SkipList()
+        reference = {}
+        for is_insert, key in ops:
+            if is_insert:
+                sl.insert(key, key)
+                reference[key] = key
+            else:
+                assert sl.remove(key) == (key in reference)
+                reference.pop(key, None)
+            assert list(sl.keys()) == sorted(reference)

@@ -1,0 +1,263 @@
+"""Integration tests: TafDBClient against a simulated TafDBCluster."""
+
+import pytest
+
+from repro.errors import TransactionAbort
+from repro.sim.core import Simulator
+from repro.sim.network import Network
+from repro.tafdb.cluster import TafDBCluster
+from repro.tafdb.rows import AttrDelta, Dirent, attr_key, delta_key, dirent_key
+from repro.tafdb.shard import WriteIntent
+from repro.types import AttrMeta, EntryKind
+
+
+def build_cluster(num_servers=3, num_shards=6, **kw):
+    sim = Simulator()
+    net = Network(sim, one_way_us=50)
+    cluster = TafDBCluster(sim, net, num_servers=num_servers,
+                           num_shards=num_shards, start_compactors=False, **kw)
+    return sim, net, cluster
+
+
+def dir_attrs(dir_id, **kw):
+    return AttrMeta(id=dir_id, kind=EntryKind.DIRECTORY, **kw)
+
+
+def obj_dirent(obj_id):
+    return Dirent(id=obj_id, kind=EntryKind.OBJECT,
+                  attrs=AttrMeta(id=obj_id, kind=EntryKind.OBJECT))
+
+
+def find_copartitioned_pids(client, base_pid, want_same=True, limit=10000):
+    """Find a pid whose shard placement matches/differs from base_pid."""
+    base = client.shard_of(base_pid)
+    for pid in range(base_pid + 1, base_pid + limit):
+        if (client.shard_of(pid) == base) == want_same:
+            return pid
+    raise AssertionError("no suitable pid found")
+
+
+class TestSingleShard:
+    def test_write_then_read(self):
+        sim, net, cluster = build_cluster()
+        client = cluster.client()
+
+        def body():
+            yield from client.execute_txn(
+                [WriteIntent(attr_key(1), "insert", dir_attrs(1))])
+            row = yield from client.read(attr_key(1))
+            return row
+
+        row = sim.run_process(body())
+        assert row.value.id == 1
+
+    def test_single_shard_txn_is_one_rpc(self):
+        sim, net, cluster = build_cluster()
+        client = cluster.client()
+
+        def body():
+            yield from client.execute_txn(
+                [WriteIntent(attr_key(1), "insert", dir_attrs(1)),
+                 WriteIntent(dirent_key(1, "a"), "insert", obj_dirent(2))])
+
+        sim.run_process(body())
+        assert net.rpc_count == 1
+
+    def test_abort_propagates(self):
+        sim, net, cluster = build_cluster()
+        client = cluster.client()
+
+        def body():
+            yield from client.execute_txn(
+                [WriteIntent(attr_key(1), "insert", dir_attrs(1))])
+            yield from client.execute_txn(
+                [WriteIntent(attr_key(1), "insert", dir_attrs(1))])
+
+        with pytest.raises(TransactionAbort, match="exists"):
+            sim.run_process(body())
+        assert client.txn_aborts == 1
+
+
+class TestTwoPhaseCommit:
+    def _cross_shard_pids(self):
+        sim, net, cluster = build_cluster()
+        client = cluster.client()
+        pid_b = find_copartitioned_pids(client, 1, want_same=False)
+        return sim, net, cluster, client, 1, pid_b
+
+    def test_cross_shard_txn_commits_atomically(self):
+        sim, net, cluster, client, pa, pb = self._cross_shard_pids()
+
+        def body():
+            yield from client.execute_txn([
+                WriteIntent(attr_key(pa), "insert", dir_attrs(pa)),
+                WriteIntent(attr_key(pb), "insert", dir_attrs(pb)),
+            ])
+            ra = yield from client.read(attr_key(pa))
+            rb = yield from client.read(attr_key(pb))
+            return ra, rb
+
+        ra, rb = sim.run_process(body())
+        assert ra is not None and rb is not None
+        # 2 prepares + 2 commits = 4 RPCs.
+        assert net.rpc_count == 4 + 2  # plus the two reads
+
+    def test_2pc_failure_aborts_prepared_branch(self):
+        sim, net, cluster, client, pa, pb = self._cross_shard_pids()
+
+        def body():
+            # Pre-install pb so the second branch's insert will conflict.
+            yield from client.execute_txn(
+                [WriteIntent(attr_key(pb), "insert", dir_attrs(pb))])
+            try:
+                yield from client.execute_txn([
+                    WriteIntent(attr_key(pa), "insert", dir_attrs(pa)),
+                    WriteIntent(attr_key(pb), "insert", dir_attrs(pb)),
+                ])
+            except TransactionAbort:
+                pass
+            # pa's branch must have been rolled back: row absent, lock free.
+            row = yield from client.read(attr_key(pa))
+            return row
+
+        assert sim.run_process(body()) is None
+        for server in cluster.servers:
+            for shard in server.shards.values():
+                assert not shard._locks
+
+    def test_concurrent_hot_row_updates_abort(self):
+        """Two clients read-modify-write the same attr row; one must abort."""
+        sim, net, cluster = build_cluster()
+        c1, c2 = cluster.client(), cluster.client()
+        outcomes = []
+
+        def seed():
+            yield from c1.execute_txn(
+                [WriteIntent(attr_key(5), "insert", dir_attrs(5))])
+
+        sim.run_process(seed())
+
+        def updater(client, tag):
+            try:
+                row = yield from client.read(attr_key(5))
+                new = row.value.copy()
+                new.entry_count += 1
+                # Cross-shard txn forces the prepare/commit window open.
+                other = find_copartitioned_pids(client, 5, want_same=False)
+                yield from client.execute_txn([
+                    WriteIntent(attr_key(5), "update", new,
+                                expect_version=row.version),
+                    WriteIntent(dirent_key(other, tag), "insert",
+                                obj_dirent(99)),
+                ])
+                outcomes.append((tag, "ok"))
+            except TransactionAbort:
+                outcomes.append((tag, "abort"))
+
+        sim.process(updater(c1, "a"))
+        sim.process(updater(c2, "b"))
+        sim.run()
+        assert sorted(o for _, o in outcomes) == ["abort", "ok"]
+
+    def test_concurrent_delta_appends_all_commit(self):
+        """Same hot directory, but via delta records: zero aborts."""
+        sim, net, cluster = build_cluster()
+        clients = [cluster.client() for _ in range(4)]
+        failures = []
+
+        def seed():
+            yield from clients[0].execute_txn(
+                [WriteIntent(attr_key(5), "insert", dir_attrs(5))])
+
+        sim.run_process(seed())
+
+        def appender(client):
+            try:
+                yield from client.execute_txn([
+                    WriteIntent(delta_key(5, client.next_delta_ts()), "insert",
+                                AttrDelta(entry_delta=1)),
+                ])
+            except TransactionAbort as exc:  # pragma: no cover
+                failures.append(exc)
+
+        for client in clients:
+            sim.process(appender(client))
+        sim.run()
+        assert not failures
+        assert cluster.total_aborts == 0
+
+
+class TestClusterPlumbing:
+    def test_scan_and_has_children(self):
+        sim, net, cluster = build_cluster()
+        client = cluster.client()
+
+        def body():
+            yield from client.execute_txn([
+                WriteIntent(attr_key(1), "insert", dir_attrs(1)),
+                WriteIntent(dirent_key(1, "b"), "insert", obj_dirent(2)),
+                WriteIntent(dirent_key(1, "a"), "insert", obj_dirent(3)),
+            ])
+            page = yield from client.scan_children(1)
+            empty = yield from client.has_children(999)
+            return page, empty
+
+        page, empty = sim.run_process(body())
+        assert [n for n, _ in page] == ["a", "b"]
+        assert empty is False
+
+    def test_read_dir_attrs_folds_deltas(self):
+        sim, net, cluster = build_cluster()
+        client = cluster.client()
+
+        def body():
+            yield from client.execute_txn(
+                [WriteIntent(attr_key(1), "insert", dir_attrs(1))])
+            yield from client.execute_txn(
+                [WriteIntent(delta_key(1, client.next_delta_ts()), "insert",
+                             AttrDelta(entry_delta=4))])
+            attrs = yield from client.read_dir_attrs(1)
+            return attrs
+
+        assert sim.run_process(body()).entry_count == 4
+
+    def test_background_compactor_folds(self):
+        sim = Simulator()
+        net = Network(sim, one_way_us=50)
+        cluster = TafDBCluster(sim, net, num_servers=2, num_shards=4,
+                               compaction_period_us=1000.0)
+        client = cluster.client()
+
+        def body():
+            yield from client.execute_txn(
+                [WriteIntent(attr_key(1), "insert", dir_attrs(1))])
+            yield from client.execute_txn(
+                [WriteIntent(delta_key(1, client.next_delta_ts()), "insert",
+                             AttrDelta(entry_delta=2))])
+            yield sim.timeout(5000)
+            row = yield from client.read(attr_key(1))
+            return row
+
+        row = sim.run_process(body())
+        assert row.value.entry_count == 2  # folded into the primary row
+        cluster.stop_compactors()
+        sim.run()
+
+    def test_unique_delta_timestamps_across_clients(self):
+        sim, net, cluster = build_cluster()
+        c1, c2 = cluster.client(), cluster.client()
+        stamps = {c1.next_delta_ts() for _ in range(100)}
+        stamps |= {c2.next_delta_ts() for _ in range(100)}
+        assert len(stamps) == 200
+
+    def test_total_rows_counter(self):
+        sim, net, cluster = build_cluster()
+        client = cluster.client()
+
+        def body():
+            yield from client.execute_txn(
+                [WriteIntent(attr_key(1), "insert", dir_attrs(1))])
+
+        sim.run_process(body())
+        assert cluster.total_rows == 1
+        assert cluster.total_commits == 1

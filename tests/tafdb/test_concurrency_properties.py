@@ -1,0 +1,172 @@
+"""Property-based concurrency tests for TafDB.
+
+Hypothesis drives random interleavings of transaction steps and delta
+schedules; the invariants checked are the ones the paper's correctness
+rests on: prepared-but-uncommitted writes are invisible, commits are
+all-or-nothing, delta folding is order-insensitive and compaction is
+semantically transparent.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TransactionAbort
+from repro.tafdb.rows import AttrDelta, Dirent, attr_key, delta_key, dirent_key
+from repro.tafdb.shard import ShardState, WriteIntent
+from repro.types import AttrMeta, EntryKind
+
+
+def fresh_shard(dir_ids=(1,)):
+    shard = ShardState()
+    for dir_id in dir_ids:
+        shard.execute(f"seed-{dir_id}", [WriteIntent(
+            attr_key(dir_id), "insert",
+            AttrMeta(id=dir_id, kind=EntryKind.DIRECTORY))])
+    return shard
+
+
+@dataclasses.dataclass
+class _Txn:
+    txn_id: str
+    entry_delta: int
+    prepared: bool = False
+    committed: bool = False
+    aborted: bool = False
+
+
+class TestInterleavedTransactions:
+    @settings(max_examples=120, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 3),       # which txn
+                              st.sampled_from(["prepare", "commit", "abort"])),
+                    max_size=24))
+    def test_rmw_interleavings_never_corrupt_the_counter(self, schedule):
+        """Optimistically updating one attr row from 4 interleaved txns:
+        whatever the schedule, the final entry_count equals the number of
+        successfully committed transactions."""
+        shard = fresh_shard()
+        txns = [_Txn(f"t{i}", 1) for i in range(4)]
+        for which, action in schedule:
+            txn = txns[which]
+            if action == "prepare" and not (txn.prepared or txn.committed
+                                            or txn.aborted):
+                row = shard.read(attr_key(1))
+                attrs = row.value.copy()
+                attrs.entry_count += txn.entry_delta
+                try:
+                    shard.prepare(txn.txn_id, [WriteIntent(
+                        attr_key(1), "update", attrs,
+                        expect_version=row.version)])
+                    txn.prepared = True
+                except TransactionAbort:
+                    txn.aborted = True
+            elif action == "commit" and txn.prepared and not txn.committed:
+                shard.commit(txn.txn_id)
+                txn.committed = True
+                txn.prepared = False
+            elif action == "abort" and txn.prepared:
+                shard.abort(txn.txn_id)
+                txn.prepared = False
+                txn.aborted = True
+        # Release anything still holding a lock.
+        for txn in txns:
+            if txn.prepared:
+                shard.abort(txn.txn_id)
+        committed = sum(1 for t in txns if t.committed)
+        assert shard.read(attr_key(1)).value.entry_count == committed
+        assert not shard._locks
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(-3, 5), min_size=1, max_size=20),
+           st.randoms(use_true_random=False))
+    def test_delta_folding_is_order_insensitive(self, deltas, rng):
+        """Deltas fold to the same attributes regardless of insertion or
+        compaction order — the property that makes out-of-place updates
+        conflict-free."""
+        shard_a = fresh_shard()
+        shard_b = fresh_shard()
+        stamps = list(range(1, len(deltas) + 1))
+        shuffled = stamps[:]
+        rng.shuffle(shuffled)
+        for ts, delta in zip(stamps, deltas):
+            shard_a.execute(f"a{ts}", [WriteIntent(
+                delta_key(1, ts), "insert", AttrDelta(entry_delta=delta))])
+        for position, ts in enumerate(shuffled):
+            delta = deltas[ts - 1]
+            shard_b.execute(f"b{position}", [WriteIntent(
+                delta_key(1, ts), "insert", AttrDelta(entry_delta=delta))])
+        assert (shard_a.read_attrs_folded(1).entry_count
+                == shard_b.read_attrs_folded(1).entry_count
+                == sum(deltas))
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(-2, 4), min_size=1, max_size=16),
+           st.integers(0, 16))
+    def test_compaction_at_any_point_is_transparent(self, deltas, cut):
+        """Compacting after any prefix of the delta stream never changes
+        what dirstat reads."""
+        shard = fresh_shard()
+        for i, delta in enumerate(deltas, start=1):
+            shard.execute(f"d{i}", [WriteIntent(
+                delta_key(1, i), "insert", AttrDelta(entry_delta=delta))])
+            if i == cut:
+                shard.compact(1)
+        folded = shard.read_attrs_folded(1).entry_count
+        shard.compact(1)
+        assert shard.read(attr_key(1)).value.entry_count == folded
+        assert folded == sum(deltas)
+        assert shard.delta_count(1) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.sampled_from(["insert", "delete"]), min_size=1,
+                    max_size=30))
+    def test_children_index_matches_rows(self, operations):
+        """The per-directory children index stays consistent with the row
+        store under arbitrary insert/delete sequences."""
+        shard = fresh_shard()
+        live = set()
+        counter = 0
+        for i, op in enumerate(operations):
+            if op == "insert":
+                name = f"e{counter}"
+                counter += 1
+                shard.execute(f"i{i}", [WriteIntent(
+                    dirent_key(1, name), "insert",
+                    Dirent(id=100 + counter, kind=EntryKind.OBJECT,
+                           attrs=AttrMeta(id=100 + counter,
+                                          kind=EntryKind.OBJECT)))])
+                live.add(name)
+            elif live:
+                victim = sorted(live)[0]
+                shard.execute(f"d{i}", [WriteIntent(
+                    dirent_key(1, victim), "delete")])
+                live.discard(victim)
+            names = [n for n, _ in shard.scan_children(1)]
+            assert names == sorted(live)
+            assert shard.has_children(1) == bool(live)
+
+
+class TestTwoPhaseAtomicity:
+    @settings(max_examples=60, deadline=None)
+    @given(st.booleans(), st.integers(1, 3))
+    def test_prepared_writes_invisible_until_commit(self, do_commit, n_rows):
+        shard = fresh_shard()
+        intents = []
+        for i in range(n_rows):
+            intents.append(WriteIntent(
+                dirent_key(1, f"x{i}"), "insert",
+                Dirent(id=50 + i, kind=EntryKind.OBJECT,
+                       attrs=AttrMeta(id=50 + i, kind=EntryKind.OBJECT))))
+        shard.prepare("txn", intents)
+        for i in range(n_rows):
+            assert shard.read(dirent_key(1, f"x{i}")) is None
+        if do_commit:
+            shard.commit("txn")
+            for i in range(n_rows):
+                assert shard.read(dirent_key(1, f"x{i}")) is not None
+        else:
+            shard.abort("txn")
+            for i in range(n_rows):
+                assert shard.read(dirent_key(1, f"x{i}")) is None
+        assert not shard._locks

@@ -1,0 +1,275 @@
+"""Unit tests for ShardState: transactions, conflicts, deltas, compaction."""
+
+import pytest
+
+from repro.errors import TransactionAbort
+from repro.tafdb.rows import AttrDelta, Dirent, attr_key, delta_key, dirent_key
+from repro.tafdb.shard import ShardState, WriteIntent
+from repro.types import AttrMeta, EntryKind
+
+
+def dir_attrs(dir_id, **kw):
+    return AttrMeta(id=dir_id, kind=EntryKind.DIRECTORY, **kw)
+
+
+def obj_dirent(obj_id):
+    return Dirent(id=obj_id, kind=EntryKind.OBJECT,
+                  attrs=AttrMeta(id=obj_id, kind=EntryKind.OBJECT))
+
+
+def seed_directory(shard, dir_id=10, entries=("a", "b")):
+    """Install a directory's attr row plus some child dirents."""
+    intents = [WriteIntent(attr_key(dir_id), "insert", dir_attrs(dir_id))]
+    for i, name in enumerate(entries):
+        intents.append(WriteIntent(dirent_key(dir_id, name), "insert",
+                                   obj_dirent(100 + i)))
+    shard.execute("seed", intents)
+    return dir_id
+
+
+class TestBasicTxn:
+    def test_insert_then_read(self):
+        shard = ShardState()
+        shard.execute("t1", [WriteIntent(dirent_key(1, "x"), "insert", obj_dirent(2))])
+        row = shard.read(dirent_key(1, "x"))
+        assert row is not None
+        assert row.value.id == 2
+        assert row.version == 1
+
+    def test_read_missing_returns_none(self):
+        assert ShardState().read(dirent_key(1, "ghost")) is None
+
+    def test_update_bumps_version(self):
+        shard = ShardState()
+        seed_directory(shard, 10)
+        key = attr_key(10)
+        v1 = shard.read(key).version
+        shard.execute("t2", [WriteIntent(key, "update", dir_attrs(10, entry_count=5),
+                                         expect_version=v1)])
+        row = shard.read(key)
+        assert row.version == v1 + 1
+        assert row.value.entry_count == 5
+
+    def test_delete_removes_row_and_index(self):
+        shard = ShardState()
+        seed_directory(shard, 10, entries=("a",))
+        shard.execute("t2", [WriteIntent(dirent_key(10, "a"), "delete")])
+        assert shard.read(dirent_key(10, "a")) is None
+        assert not shard.has_children(10)
+
+    def test_insert_existing_aborts(self):
+        shard = ShardState()
+        seed_directory(shard, 10, entries=("a",))
+        with pytest.raises(TransactionAbort, match="exists"):
+            shard.execute("t2", [WriteIntent(dirent_key(10, "a"), "insert",
+                                             obj_dirent(9))])
+        assert shard.aborts == 1
+
+    def test_update_missing_aborts(self):
+        shard = ShardState()
+        with pytest.raises(TransactionAbort, match="missing"):
+            shard.execute("t1", [WriteIntent(attr_key(1), "update", dir_attrs(1))])
+
+    def test_version_mismatch_aborts(self):
+        shard = ShardState()
+        seed_directory(shard, 10)
+        with pytest.raises(TransactionAbort, match="version"):
+            shard.execute("t2", [WriteIntent(attr_key(10), "update",
+                                             dir_attrs(10), expect_version=999)])
+
+    def test_failed_prepare_releases_all_locks(self):
+        shard = ShardState()
+        seed_directory(shard, 10, entries=("a",))
+        # Second intent fails (exists), so the first intent's lock must drop.
+        with pytest.raises(TransactionAbort):
+            shard.prepare("t2", [
+                WriteIntent(attr_key(10), "update", dir_attrs(10)),
+                WriteIntent(dirent_key(10, "a"), "insert", obj_dirent(9)),
+            ])
+        assert not shard.is_locked(attr_key(10))
+
+    def test_atomicity_nothing_applied_on_abort(self):
+        shard = ShardState()
+        seed_directory(shard, 10, entries=("a",))
+        before = shard.read(attr_key(10))
+        with pytest.raises(TransactionAbort):
+            shard.execute("t2", [
+                WriteIntent(attr_key(10), "update", dir_attrs(10, entry_count=99)),
+                WriteIntent(dirent_key(10, "a"), "insert", obj_dirent(9)),
+            ])
+        after = shard.read(attr_key(10))
+        assert after.version == before.version
+        assert after.value.entry_count == before.value.entry_count
+
+
+class TestTwoPhase:
+    def test_prepare_blocks_conflicting_prepare(self):
+        shard = ShardState()
+        seed_directory(shard, 10)
+        shard.prepare("t1", [WriteIntent(attr_key(10), "update", dir_attrs(10))])
+        with pytest.raises(TransactionAbort, match="lock"):
+            shard.prepare("t2", [WriteIntent(attr_key(10), "update", dir_attrs(10))])
+        assert shard.lock_owner(attr_key(10)) == "t1"
+
+    def test_commit_applies_and_releases(self):
+        shard = ShardState()
+        seed_directory(shard, 10)
+        shard.prepare("t1", [WriteIntent(attr_key(10), "update",
+                                         dir_attrs(10, entry_count=7))])
+        shard.commit("t1")
+        assert shard.read(attr_key(10)).value.entry_count == 7
+        assert not shard.is_locked(attr_key(10))
+        # The row is writable again.
+        shard.prepare("t2", [WriteIntent(attr_key(10), "update", dir_attrs(10))])
+        shard.abort("t2")
+
+    def test_abort_discards_staged_writes(self):
+        shard = ShardState()
+        seed_directory(shard, 10)
+        shard.prepare("t1", [WriteIntent(attr_key(10), "update",
+                                         dir_attrs(10, entry_count=7))])
+        shard.abort("t1")
+        assert shard.read(attr_key(10)).value.entry_count == 0
+        assert not shard.is_locked(attr_key(10))
+
+    def test_commit_unprepared_rejected(self):
+        with pytest.raises(TransactionAbort):
+            ShardState().commit("ghost")
+
+    def test_double_prepare_same_txn_rejected(self):
+        shard = ShardState()
+        seed_directory(shard, 10)
+        shard.prepare("t1", [WriteIntent(attr_key(10), "update", dir_attrs(10))])
+        with pytest.raises(TransactionAbort):
+            shard.prepare("t1", [WriteIntent(attr_key(10), "update", dir_attrs(10))])
+
+    def test_same_txn_may_lock_multiple_rows(self):
+        shard = ShardState()
+        seed_directory(shard, 10, entries=("a",))
+        shard.prepare("t1", [
+            WriteIntent(attr_key(10), "update", dir_attrs(10, entry_count=1)),
+            WriteIntent(dirent_key(10, "new"), "insert", obj_dirent(55)),
+        ])
+        shard.commit("t1")
+        assert shard.read(dirent_key(10, "new")) is not None
+
+
+class TestScans:
+    def test_scan_children_sorted(self):
+        shard = ShardState()
+        seed_directory(shard, 10, entries=("zeta", "alpha", "mid"))
+        names = [n for n, _ in shard.scan_children(10)]
+        assert names == ["alpha", "mid", "zeta"]
+
+    def test_scan_children_paging(self):
+        shard = ShardState()
+        seed_directory(shard, 10, entries=tuple(f"e{i:02d}" for i in range(10)))
+        page1 = shard.scan_children(10, limit=4)
+        assert [n for n, _ in page1] == ["e00", "e01", "e02", "e03"]
+        page2 = shard.scan_children(10, limit=4, start_after="e03")
+        assert [n for n, _ in page2] == ["e04", "e05", "e06", "e07"]
+
+    def test_scan_excludes_attr_and_delta_rows(self):
+        shard = ShardState()
+        seed_directory(shard, 10, entries=("a",))
+        shard.execute("t9", [WriteIntent(delta_key(10, 5), "insert", AttrDelta(1))])
+        names = [n for n, _ in shard.scan_children(10)]
+        assert names == ["a"]
+
+    def test_has_children(self):
+        shard = ShardState()
+        seed_directory(shard, 10, entries=("a",))
+        assert shard.has_children(10)
+        assert not shard.has_children(999)
+
+
+class TestDeltas:
+    def test_concurrent_delta_inserts_do_not_conflict(self):
+        shard = ShardState()
+        seed_directory(shard, 10)
+        shard.prepare("t1", [WriteIntent(delta_key(10, 1), "insert",
+                                         AttrDelta(entry_delta=1))])
+        # A second txn appends its own delta while t1 is still in flight.
+        shard.prepare("t2", [WriteIntent(delta_key(10, 2), "insert",
+                                         AttrDelta(entry_delta=1))])
+        shard.commit("t1")
+        shard.commit("t2")
+        assert shard.delta_count(10) == 2
+
+    def test_read_attrs_folded_includes_deltas(self):
+        shard = ShardState()
+        seed_directory(shard, 10)
+        for ts, delta in ((1, 2), (2, 3)):
+            shard.execute(f"d{ts}", [WriteIntent(delta_key(10, ts), "insert",
+                                                 AttrDelta(entry_delta=delta))])
+        attrs = shard.read_attrs_folded(10)
+        assert attrs.entry_count == 5
+        # Folding at read time must not mutate the stored primary row.
+        assert shard.read(attr_key(10)).value.entry_count == 0
+
+    def test_compact_folds_and_removes_deltas(self):
+        shard = ShardState()
+        seed_directory(shard, 10)
+        for ts in (1, 2, 3):
+            shard.execute(f"d{ts}", [WriteIntent(delta_key(10, ts), "insert",
+                                                 AttrDelta(entry_delta=1))])
+        folded = shard.compact(10)
+        assert folded == 3
+        assert shard.delta_count(10) == 0
+        assert shard.read(attr_key(10)).value.entry_count == 3
+        assert shard.compactions == 1
+
+    def test_compact_skips_when_primary_locked(self):
+        shard = ShardState()
+        seed_directory(shard, 10)
+        shard.execute("d1", [WriteIntent(delta_key(10, 1), "insert",
+                                         AttrDelta(entry_delta=1))])
+        shard.prepare("t1", [WriteIntent(attr_key(10), "update", dir_attrs(10))])
+        assert shard.compact(10) == 0
+        shard.abort("t1")
+        assert shard.compact(10) == 1
+
+    def test_compact_orphaned_deltas_after_dir_removal(self):
+        shard = ShardState()
+        seed_directory(shard, 10)
+        shard.execute("d1", [WriteIntent(delta_key(10, 1), "insert",
+                                         AttrDelta(entry_delta=1))])
+        shard.execute("rm", [WriteIntent(attr_key(10), "delete")])
+        assert shard.compact(10) == 1  # orphan GC
+        assert shard.pending_delta_rows == 0
+
+    def test_compact_all(self):
+        shard = ShardState()
+        seed_directory(shard, 10)
+        seed_directory(shard, 20)
+        shard.execute("d1", [WriteIntent(delta_key(10, 1), "insert", AttrDelta(1))])
+        shard.execute("d2", [WriteIntent(delta_key(20, 2), "insert", AttrDelta(1))])
+        assert shard.compact_all() == 2
+        assert shard.pending_delta_rows == 0
+
+    def test_compaction_preserves_folded_semantics(self):
+        """Folded read before compaction == plain read after compaction."""
+        shard = ShardState()
+        seed_directory(shard, 10)
+        for ts in range(1, 6):
+            shard.execute(f"d{ts}", [WriteIntent(delta_key(10, ts), "insert",
+                                                 AttrDelta(entry_delta=1,
+                                                           link_delta=2))])
+        before = shard.read_attrs_folded(10)
+        shard.compact(10)
+        after = shard.read_attrs_folded(10)
+        assert (before.entry_count, before.link_count) == \
+               (after.entry_count, after.link_count)
+
+
+class TestIntentValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            WriteIntent(attr_key(1), "upsert", dir_attrs(1))
+
+    def test_insert_needs_value(self):
+        with pytest.raises(ValueError):
+            WriteIntent(attr_key(1), "insert")
+
+    def test_delete_needs_no_value(self):
+        WriteIntent(attr_key(1), "delete")  # should not raise

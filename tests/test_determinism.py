@@ -1,0 +1,66 @@
+"""Whole-run determinism: identical configurations give identical results.
+
+The DES kernel breaks timestamp ties FIFO and every random source is
+seeded, so two fresh runs of the same benchmark must produce *bit-identical*
+metrics — the property that makes experiment results reviewable.
+"""
+
+from repro.bench.cluster import SYSTEMS, build_system
+from repro.bench.harness import run_workload
+from repro.workloads.mdtest import MdtestWorkload
+from repro.workloads.mixed import MixedWorkload
+from repro.workloads.namespace import build_namespace
+from repro.workloads.spark import SparkAnalyticsWorkload
+
+
+def _fingerprint(metrics):
+    return (
+        metrics.ops_completed,
+        metrics.ops_failed,
+        metrics.retries,
+        round(metrics.duration_us, 6),
+        {op: (rec.count, round(rec.mean, 6), round(rec.max, 6))
+         for op, rec in sorted(metrics.latency.items())},
+    )
+
+
+def _run_once(name, workload_factory):
+    system = build_system(name, "quick")
+    try:
+        return _fingerprint(run_workload(system, workload_factory()))
+    finally:
+        system.shutdown()
+
+
+class TestDeterminism:
+    def test_mdtest_identical_across_runs_all_systems(self):
+        for name in SYSTEMS:
+            factory = lambda: MdtestWorkload("objstat", depth=8, items=5,
+                                             num_clients=8)
+            assert _run_once(name, factory) == _run_once(name, factory), name
+
+    def test_contended_workload_identical_across_runs(self):
+        factory = lambda: SparkAnalyticsWorkload(num_clients=8,
+                                                 parts_per_task=1, rounds=2)
+        assert _run_once("mantle", factory) == _run_once("mantle", factory)
+
+    def test_mixed_workload_identical_across_runs(self):
+        spec = build_namespace(num_dirs=40, objects_per_dir=4, seed=3,
+                               root="/det")
+
+        def factory():
+            return MixedWorkload(spec, num_clients=6, ops_per_client=20,
+                                 seed=9)
+
+        assert _run_once("mantle", factory) == _run_once("mantle", factory)
+
+    def test_different_seed_changes_mixed_workload(self):
+        spec = build_namespace(num_dirs=40, objects_per_dir=4, seed=3,
+                               root="/det")
+
+        def factory(seed):
+            return lambda: MixedWorkload(spec, num_clients=6,
+                                         ops_per_client=20, seed=seed)
+
+        assert _run_once("mantle", factory(1)) != _run_once("mantle",
+                                                            factory(2))

@@ -1,0 +1,81 @@
+"""Property-based tests for path utilities."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import paths
+
+_component = st.text(alphabet=string.ascii_lowercase + string.digits,
+                     min_size=1, max_size=6)
+_parts = st.lists(_component, min_size=1, max_size=8)
+_path = _parts.map(lambda ps: "/" + "/".join(ps))
+
+
+class TestRoundTrips:
+    @settings(max_examples=150, deadline=None)
+    @given(_parts)
+    def test_split_join_roundtrip(self, parts):
+        path = "/" + "/".join(parts)
+        assert paths.split_path(path) == parts
+        assert paths.normalize(path) == path
+        assert paths.join("/", *parts) == path
+
+    @settings(max_examples=150, deadline=None)
+    @given(_path)
+    def test_parent_and_name_recompose(self, path):
+        parent, name = paths.parent_and_name(path)
+        assert paths.join(parent, name) == path
+        assert paths.depth(parent) == paths.depth(path) - 1
+
+    @settings(max_examples=150, deadline=None)
+    @given(_path, st.integers(0, 10))
+    def test_truncate_prefix_is_a_prefix(self, path, k):
+        prefix = paths.truncate_prefix(path, k)
+        assert paths.is_prefix(prefix, path)
+        assert paths.depth(prefix) == max(0, paths.depth(path) - k)
+
+
+class TestPrefixAlgebra:
+    @settings(max_examples=150, deadline=None)
+    @given(_path)
+    def test_ancestors_are_strict_prefixes(self, path):
+        for ancestor in paths.ancestors(path):
+            assert paths.is_prefix(ancestor, path)
+            assert ancestor != path
+
+    @settings(max_examples=150, deadline=None)
+    @given(_path, _path)
+    def test_common_ancestor_properties(self, a, b):
+        lca = paths.common_ancestor(a, b)
+        assert paths.is_prefix(lca, a)
+        assert paths.is_prefix(lca, b)
+        # Maximality: one level deeper is no longer a common prefix.
+        deeper_a = paths.split_path(a)[:paths.depth(lca) + 1]
+        deeper_b = paths.split_path(b)[:paths.depth(lca) + 1]
+        if deeper_a and deeper_b and len(deeper_a) > paths.depth(lca):
+            if deeper_a == deeper_b:
+                raise AssertionError("lca was not maximal")
+
+    @settings(max_examples=150, deadline=None)
+    @given(_path, _path)
+    def test_common_ancestor_symmetric(self, a, b):
+        assert paths.common_ancestor(a, b) == paths.common_ancestor(b, a)
+
+    @settings(max_examples=150, deadline=None)
+    @given(_path, _parts)
+    def test_rewrite_prefix_moves_subtree(self, new_prefix_path, suffix):
+        old_prefix = "/old/base"
+        path = paths.join(old_prefix, *suffix)
+        rewritten = paths.rewrite_prefix(path, old_prefix, new_prefix_path)
+        assert paths.is_prefix(new_prefix_path, rewritten)
+        assert paths.split_path(rewritten)[-len(suffix):] == suffix
+
+    @settings(max_examples=150, deadline=None)
+    @given(_path, st.integers(1, 5))
+    def test_is_prefix_transitive_along_ancestors(self, path, step):
+        chain = paths.ancestors(path) + [path]
+        for i in range(len(chain)):
+            j = min(i + step, len(chain) - 1)
+            assert paths.is_prefix(chain[i], chain[j])

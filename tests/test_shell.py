@@ -1,0 +1,113 @@
+"""Tests for the interactive namespace shell."""
+
+import pytest
+
+from repro.errors import MetadataError
+from repro.tools.shell import MantleShell, ShellError
+
+
+@pytest.fixture()
+def shell():
+    sh = MantleShell()
+    yield sh
+    sh.client.close()
+
+
+class TestPathResolution:
+    def test_absolute_and_relative(self, shell):
+        shell.execute("mkdir -p /a/b")
+        shell.execute("cd /a")
+        assert shell.resolve("b") == "/a/b"
+        assert shell.resolve("/x") == "/x"
+        assert shell.resolve(".") == "/a"
+        assert shell.resolve("..") == "/"
+
+    def test_parent_of_root_is_root(self, shell):
+        assert shell.resolve("..") == "/"
+
+
+class TestCommands:
+    def test_mkdir_ls_roundtrip(self, shell):
+        shell.execute("mkdir /data")
+        shell.execute("put /data/a.bin")
+        shell.execute("mkdir /data/sub")
+        assert shell.execute("ls /data") == "a.bin\nsub/"
+
+    def test_mkdir_p(self, shell):
+        shell.execute("mkdir -p /x/y/z")
+        assert "z/" in shell.execute("ls /x/y")
+
+    def test_cd_pwd(self, shell):
+        shell.execute("mkdir -p /w/deep")
+        shell.execute("cd /w/deep")
+        assert shell.execute("pwd") == "/w/deep"
+        shell.execute("cd ..")
+        assert shell.execute("pwd") == "/w"
+
+    def test_cd_into_object_rejected(self, shell):
+        shell.execute("mkdir /d")
+        shell.execute("put /d/o")
+        with pytest.raises(MetadataError):
+            shell.execute("cd /d/o")
+
+    def test_stat_output(self, shell):
+        shell.execute("mkdir /s")
+        shell.execute("put /s/o")
+        out = shell.execute("stat /s")
+        assert "directory" in out and "entries:     1" in out
+        out = shell.execute("stat /s/o")
+        assert "object" in out
+
+    def test_mv_and_rm(self, shell):
+        shell.execute("mkdir -p /m/src")
+        shell.execute("put /m/src/o")
+        shell.execute("mv /m/src /m/dst")
+        assert shell.execute("ls /m") == "dst/"
+        shell.execute("rm /m/dst/o")
+        shell.execute("rmdir /m/dst")
+        assert shell.execute("ls /m") == ""
+
+    def test_chmod_spec_parsing(self, shell):
+        shell.execute("mkdir /perm")
+        shell.execute("chmod r-x /perm")
+        with pytest.raises(MetadataError):
+            shell.execute("put /perm/blocked")
+        with pytest.raises(ShellError):
+            shell.execute("chmod rwxx /perm")
+
+    def test_tree_lists_recursively(self, shell):
+        shell.execute("mkdir -p /t/a/b")
+        shell.execute("put /t/a/b/leaf")
+        out = shell.execute("tree /t")
+        assert "leaf" in out and out.splitlines()[0] == "/t"
+
+    def test_stats_reports_latencies(self, shell):
+        shell.execute("mkdir /z")
+        out = shell.execute("stats")
+        assert "mkdir" in out
+        assert "pathcache" in out
+
+    def test_help_lists_commands(self, shell):
+        out = shell.execute("help")
+        for cmd in ("ls", "mkdir", "mv", "chmod"):
+            assert cmd in out
+
+
+class TestErrors:
+    def test_unknown_command(self, shell):
+        with pytest.raises(ShellError, match="unknown command"):
+            shell.execute("frobnicate /x")
+
+    def test_usage_errors(self, shell):
+        for line in ("mkdir", "rmdir", "put", "rm", "stat", "mv /only-one",
+                     "chmod rwx"):
+            with pytest.raises(ShellError):
+                shell.execute(line)
+
+    def test_empty_line_is_noop(self, shell):
+        assert shell.execute("") == ""
+        assert shell.execute("   ") == ""
+
+    def test_namespace_errors_bubble(self, shell):
+        with pytest.raises(MetadataError):
+            shell.execute("ls /missing")

@@ -1,0 +1,56 @@
+"""Unit tests for core value types (repro.types)."""
+
+from repro.types import (
+    ROOT_ID,
+    AccessMeta,
+    AttrMeta,
+    DirentKey,
+    EntryKind,
+    Permission,
+    make_stat,
+)
+
+
+def test_permission_intersection_is_lazy_hybrid():
+    path_perm = Permission.ALL
+    for level_perm in (Permission.ALL, Permission.READ | Permission.EXECUTE):
+        path_perm &= level_perm
+    assert path_perm == Permission.READ | Permission.EXECUTE
+    assert not path_perm & Permission.WRITE
+
+
+def test_access_meta_lock_cycle():
+    meta = AccessMeta(pid=ROOT_ID, name="a", id=7)
+    locked = meta.with_lock("uuid-1")
+    assert locked.locked and locked.lock_owner == "uuid-1"
+    assert not meta.locked  # frozen: original unchanged
+    unlocked = locked.without_lock()
+    assert not unlocked.locked and unlocked.lock_owner is None
+
+
+def test_attr_meta_copy_is_independent():
+    attr = AttrMeta(id=3, kind=EntryKind.DIRECTORY, entry_count=5)
+    dup = attr.copy()
+    dup.entry_count += 1
+    assert attr.entry_count == 5
+    assert dup.entry_count == 6
+
+
+def test_dirent_key_hashable_and_equal():
+    assert DirentKey(1, "a") == DirentKey(1, "a")
+    assert len({DirentKey(1, "a"), DirentKey(1, "a"), DirentKey(2, "a")}) == 2
+
+
+def test_make_stat_maps_fields():
+    attr = AttrMeta(id=9, kind=EntryKind.OBJECT, size=123, ctime=1.0,
+                    mtime=2.0, link_count=1)
+    stat = make_stat("/a/obj", attr)
+    assert stat.path == "/a/obj"
+    assert stat.id == 9
+    assert stat.size == 123
+    assert not stat.is_dir
+
+
+def test_dir_stat_is_dir():
+    attr = AttrMeta(id=4, kind=EntryKind.DIRECTORY)
+    assert make_stat("/d", attr).is_dir

@@ -1,0 +1,89 @@
+"""Tests for the mixed production-style workload and Zipf picker."""
+
+import collections
+
+import pytest
+
+from repro.bench.cluster import build_system
+from repro.bench.harness import run_workload
+from repro.workloads.mixed import DEFAULT_MIX, MixedWorkload, ZipfPicker
+from repro.workloads.namespace import build_namespace
+
+
+class TestZipfPicker:
+    def test_skewed_toward_head(self):
+        picker = ZipfPicker(list(range(100)), s=1.2, seed=1)
+        counts = collections.Counter(picker.pick() for _ in range(3000))
+        head = sum(counts[i] for i in range(10))
+        tail = sum(counts[i] for i in range(90, 100))
+        assert head > 5 * max(1, tail)
+
+    def test_uniform_when_s_zero(self):
+        picker = ZipfPicker(list(range(10)), s=0.0, seed=2)
+        counts = collections.Counter(picker.pick() for _ in range(5000))
+        assert min(counts.values()) > 300  # roughly uniform
+
+    def test_deterministic_per_seed(self):
+        a = ZipfPicker(list(range(50)), seed=3)
+        b = ZipfPicker(list(range(50)), seed=3)
+        assert [a.pick() for _ in range(20)] == [b.pick() for _ in range(20)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfPicker([])
+        with pytest.raises(ValueError):
+            ZipfPicker([1], s=-1)
+
+
+class TestMixedWorkload:
+    def _spec(self):
+        return build_namespace(num_dirs=60, objects_per_dir=5, seed=9,
+                               root="/mix")
+
+    def test_mix_validation(self):
+        with pytest.raises(ValueError):
+            MixedWorkload(self._spec(), mix={"chown": 1.0})
+        with pytest.raises(ValueError):
+            MixedWorkload(self._spec(), mix={"objstat": 0.0})
+
+    def test_weights_normalised(self):
+        workload = MixedWorkload(self._spec(), mix={"objstat": 2, "create": 2})
+        assert workload.mix == {"objstat": 0.5, "create": 0.5}
+
+    def test_stream_respects_mix_shape(self):
+        system = build_system("mantle", "quick")
+        workload = MixedWorkload(self._spec(), num_clients=2,
+                                 ops_per_client=300, seed=5)
+        workload.setup(system)
+        counts = collections.Counter(op for op, _ in workload.client_ops(0))
+        # Lookup-dominated, like Table 3's production profile.
+        assert counts["objstat"] > counts["create"] > counts["rmdir"]
+        assert set(counts) <= set(DEFAULT_MIX)
+        system.shutdown()
+
+    def test_runs_clean_on_every_system(self):
+        from repro.bench.cluster import SYSTEMS
+        for name in SYSTEMS:
+            system = build_system(name, "quick")
+            workload = MixedWorkload(self._spec(), num_clients=4,
+                                     ops_per_client=25, seed=6)
+            metrics = run_workload(system, workload)
+            assert metrics.ops_failed == 0, name
+            assert metrics.ops_completed == 100
+            system.shutdown()
+
+    def test_zipf_access_hits_cache_well(self):
+        """Skewed access should give TopDirPathCache a high hit rate."""
+        system = build_system("mantle", "quick")
+        workload = MixedWorkload(self._spec(), num_clients=8,
+                                 ops_per_client=40,
+                                 mix={"objstat": 1.0}, zipf_s=1.2)
+        run_workload(system, workload)
+        leader = system.index_group.leader_or_raise()
+        assert leader.state_machine.cache.hit_rate > 0.5
+        system.shutdown()
+
+    def test_requires_setup(self):
+        workload = MixedWorkload(self._spec())
+        with pytest.raises(RuntimeError):
+            list(workload.client_ops(0))

@@ -1,0 +1,86 @@
+"""Tests for trace recording and replay."""
+
+import io
+
+import pytest
+
+from repro.bench.cluster import build_system
+from repro.bench.harness import run_workload
+from repro.workloads.mdtest import MdtestWorkload
+from repro.workloads.trace import TraceRecorder, TraceWorkload
+
+
+def record_mdtest_trace(op="create", items=4, clients=3):
+    system = build_system("mantle", "quick")
+    workload = MdtestWorkload(op, depth=6, items=items, num_clients=clients)
+    recorder = TraceRecorder(workload)
+    run_workload(system, recorder)
+    buffer = io.StringIO()
+    recorder.dump(buffer)
+    system.shutdown()
+    buffer.seek(0)
+    return workload, buffer
+
+
+class TestRecord:
+    def test_records_every_operation(self):
+        workload, buffer = record_mdtest_trace(items=4, clients=3)
+        lines = buffer.read().strip().splitlines()
+        assert len(lines) == 12
+
+    def test_jsonl_shape(self):
+        import json
+        _w, buffer = record_mdtest_trace(items=2, clients=1)
+        for line in buffer.read().strip().splitlines():
+            record = json.loads(line)
+            assert set(record) == {"client", "op", "args"}
+            assert record["op"] == "create"
+
+
+class TestReplay:
+    def test_replay_reproduces_namespace(self):
+        original, buffer = record_mdtest_trace(op="mkdir", items=3, clients=2)
+        trace = TraceWorkload.load(buffer)
+        assert trace.total_ops == 6
+        # Replay against a fresh system (pre-populated like the original).
+        system = build_system("mantle", "quick")
+        original.setup(system)  # same working-dir pre-fill
+        metrics = run_workload(system, trace, setup=False)
+        assert metrics.ops_failed == 0
+        assert metrics.ops_completed == 6
+        system.shutdown()
+
+    def test_replay_on_a_different_system(self):
+        original, buffer = record_mdtest_trace(op="create", items=3,
+                                               clients=2)
+        trace = TraceWorkload.load(buffer)
+        system = build_system("tectonic", "quick")
+        original.setup(system)
+        metrics = run_workload(system, trace, setup=False)
+        assert metrics.ops_failed == 0
+        system.shutdown()
+
+    def test_per_client_order_preserved(self):
+        _w, buffer = record_mdtest_trace(op="create", items=5, clients=2)
+        trace = TraceWorkload.load(buffer)
+        ops0 = [args[0] for _op, args in trace.client_ops(0)]
+        assert ops0 == sorted(ops0)  # mdtest creates in sequence
+
+
+class TestValidation:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            TraceWorkload([])
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="line 1"):
+            TraceWorkload(["not json"])
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            TraceWorkload(['{"client": 0, "op": "chmodx", "args": ["/x"]}'])
+
+    def test_blank_lines_skipped(self):
+        trace = TraceWorkload([
+            "", '{"client": 0, "op": "objstat", "args": ["/x"]}', "  "])
+        assert trace.total_ops == 1
