@@ -26,15 +26,19 @@ def run_workload(system, workload, num_clients: Optional[int] = None,
     sim = system.sim
 
     def client(cid: int):
+        # Hoisted attribute lookups: this loop runs once per simulated op.
+        submit = system.submit
+        record = metrics.record
+        record_failure = metrics.record_failure
         for op, args in workload.client_ops(cid):
             ctx = OpContext(op)
             try:
-                yield from system.submit(op, *args, ctx=ctx)
+                yield from submit(op, *args, ctx=ctx)
             except MetadataError:
                 ctx.finish = sim.now
-                metrics.record_failure(ctx)
+                record_failure(ctx)
                 continue
-            metrics.record(ctx)
+            record(ctx)
 
     metrics.started_at = sim.now
     done = sim.all_of([

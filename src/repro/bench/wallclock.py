@@ -1,0 +1,238 @@
+"""Wall-clock regression harness for the DES kernel and the quick suite.
+
+``python -m repro.bench.wallclock`` times four kernel micro-benchmarks
+(events per wall-second) plus the quick experiment suite and writes
+``BENCH_wallclock.json`` at the repository root so successive PRs can track
+the substrate's trajectory.  All numbers are *wall-clock* — simulated
+results are covered by the determinism tests, not this file.
+
+The microbenches mirror ``benchmarks/bench_simulator.py`` but run without
+pytest so they can execute in CI and inside the JSON harness:
+
+* ``timeout_churn``      — many processes sleeping in short timeouts
+  (heap-dominated; the classic DES inner loop).
+* ``immediate_resume``   — processes yielding already-processed events
+  (exercises the deferred-callback microtask fast path).
+* ``resource_pingpong``  — uncontended ``Resource`` request/release plus
+  ``Store`` put/get ping-pong (zero-delay event fast path).
+* ``anyof_fanout``       — ``AnyOf`` over 64 children (O(1) index map).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.core import AnyOf, Simulator
+from repro.sim.resources import Resource, Store
+
+#: Repository root (src/repro/bench/wallclock.py -> repo root).
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", ".."))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_wallclock.json")
+
+
+# ---------------------------------------------------------------------------
+# Kernel microbenches.  Each returns (events_processed, wall_seconds).
+# ---------------------------------------------------------------------------
+
+def bench_timeout_churn(procs: int = 400, steps: int = 50) -> Tuple[int, float]:
+    sim = Simulator()
+
+    def worker(i):
+        for _ in range(steps):
+            yield sim.timeout(1)
+
+    for i in range(procs):
+        sim.process(worker(i))
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return procs * steps, elapsed
+
+
+def bench_immediate_resume(procs: int = 200, steps: int = 100) -> Tuple[int, float]:
+    sim = Simulator()
+    done = sim.event()
+    done.succeed("ready")
+    sim.run()  # process `done` so every yield hits the resume-immediately path
+
+    def worker():
+        for _ in range(steps):
+            yield done
+
+    for _ in range(procs):
+        sim.process(worker())
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return procs * steps, elapsed
+
+
+def bench_resource_pingpong(rounds: int = 5000) -> Tuple[int, float]:
+    sim = Simulator()
+    cpu = Resource(sim, capacity=2)
+    store = Store(sim)
+
+    def producer():
+        for i in range(rounds):
+            req = cpu.request()
+            yield req
+            cpu.release(req)
+            store.put(i)
+
+    def consumer():
+        for _ in range(rounds):
+            yield store.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return rounds * 2, elapsed
+
+
+def bench_anyof_fanout(rounds: int = 300, fanout: int = 64) -> Tuple[int, float]:
+    sim = Simulator()
+
+    def waiter():
+        for r in range(rounds):
+            children = [sim.timeout(1 + (i % 7), i) for i in range(fanout)]
+            yield AnyOf(sim, children)
+
+    sim.process(waiter())
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return rounds * fanout, elapsed
+
+
+KERNEL_BENCHES: Dict[str, Callable[[], Tuple[int, float]]] = {
+    "timeout_churn": bench_timeout_churn,
+    "immediate_resume": bench_immediate_resume,
+    "resource_pingpong": bench_resource_pingpong,
+    "anyof_fanout": bench_anyof_fanout,
+}
+
+#: events/s measured on the pre-fast-path kernel (commit d75c5b3, the same
+#: single-core container that produced ``results_quick.txt``).  Kept here so
+#: every report carries its own before/after ratio.
+SEED_BASELINE_EVENTS_PER_S: Dict[str, float] = {
+    "timeout_churn": 560750.0,
+    "immediate_resume": 689735.1,
+    "resource_pingpong": 462163.2,
+    "anyof_fanout": 653571.1,
+}
+
+
+def run_kernel_benches(repeats: int = 3) -> Dict[str, Dict[str, float]]:
+    """Run every kernel microbench, keeping the best of ``repeats`` runs."""
+    results: Dict[str, Dict[str, float]] = {}
+    for name, fn in KERNEL_BENCHES.items():
+        best_rate = 0.0
+        events = 0
+        best_elapsed = float("inf")
+        for _ in range(repeats):
+            events, elapsed = fn()
+            rate = events / elapsed if elapsed > 0 else 0.0
+            if rate > best_rate:
+                best_rate = rate
+                best_elapsed = elapsed
+        results[name] = {
+            "events": events,
+            "wall_s": round(best_elapsed, 6),
+            "events_per_s": round(best_rate, 1),
+        }
+        seed = SEED_BASELINE_EVENTS_PER_S.get(name)
+        if seed:
+            results[name]["speedup_vs_seed"] = round(best_rate / seed, 3)
+    return results
+
+
+def geomean_speedup(kernel: Dict[str, Dict[str, float]]) -> float:
+    ratios = [row["speedup_vs_seed"] for row in kernel.values()
+              if "speedup_vs_seed" in row]
+    if not ratios:
+        return 0.0
+    product = 1.0
+    for ratio in ratios:
+        product *= ratio
+    return product ** (1.0 / len(ratios))
+
+
+# ---------------------------------------------------------------------------
+# Quick experiment suite timing.
+# ---------------------------------------------------------------------------
+
+def time_quick_suite(jobs: int = 1,
+                     experiments: Optional[List[str]] = None) -> Dict[str, object]:
+    """Time ``mantle-exp all --scale quick`` (optionally a subset) end to end."""
+    from repro.experiments.runner import run_experiments
+
+    start = time.perf_counter()
+    outcomes = run_experiments(experiments, scale="quick", jobs=jobs,
+                               quiet=True)
+    elapsed = time.perf_counter() - start
+    return {
+        "jobs": jobs,
+        "wall_s": round(elapsed, 3),
+        "per_experiment_s": {o.exp_id: round(o.wall_s, 3) for o in outcomes},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.wallclock",
+        description="Wall-clock regression harness (kernel + quick suite)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write the JSON report")
+    parser.add_argument("--skip-suite", action="store_true",
+                        help="only run the kernel microbenches")
+    parser.add_argument("--suite-jobs", type=int, default=None, metavar="N",
+                        help="additionally time the quick suite with N workers")
+    parser.add_argument("--experiments", nargs="*", default=None,
+                        help="subset of experiment ids for the suite timing")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="microbench repetitions (best-of)")
+    args = parser.parse_args(argv)
+
+    report: Dict[str, object] = {
+        "python": sys.version.split()[0],
+        "cpus": os.cpu_count(),
+        "kernel": run_kernel_benches(repeats=args.repeats),
+    }
+    for name, row in report["kernel"].items():
+        speedup = row.get("speedup_vs_seed")
+        suffix = f"  {speedup:.2f}x vs seed" if speedup else ""
+        print(f"kernel/{name:18s} {row['events_per_s']:>12,.0f} events/s "
+              f"({row['wall_s']:.3f}s){suffix}")
+    report["kernel_geomean_speedup_vs_seed"] = round(
+        geomean_speedup(report["kernel"]), 3)
+    print(f"kernel geomean speedup vs seed: "
+          f"{report['kernel_geomean_speedup_vs_seed']:.2f}x")
+
+    if not args.skip_suite:
+        suite: Dict[str, object] = {"serial": time_quick_suite(
+            jobs=1, experiments=args.experiments)}
+        print(f"suite/serial          {suite['serial']['wall_s']:.1f}s wall")
+        if args.suite_jobs and args.suite_jobs > 1:
+            suite[f"jobs{args.suite_jobs}"] = time_quick_suite(
+                jobs=args.suite_jobs, experiments=args.experiments)
+            print(f"suite/jobs{args.suite_jobs}          "
+                  f"{suite[f'jobs{args.suite_jobs}']['wall_s']:.1f}s wall")
+        report["quick_suite"] = suite
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"(wrote {args.output})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional
+import inspect
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.bench.cluster import build_system
 from repro.bench.harness import run_workload
@@ -22,11 +23,16 @@ class Experiment:
     id: str
     title: str
     paper_claim: str
-    runner: Callable[[str], List[Table]]
+    runner: Callable[..., List[Table]]
+    #: Whether ``runner`` takes a ``jobs`` keyword (sweep-style experiments
+    #: that can fan per-point simulators across worker processes).
+    accepts_jobs: bool = False
 
-    def run(self, scale: str = "quick") -> List[Table]:
+    def run(self, scale: str = "quick", jobs: int = 1) -> List[Table]:
         if scale not in SCALES:
             raise ValueError(f"scale must be one of {SCALES}")
+        if self.accepts_jobs:
+            return self.runner(scale, jobs=jobs)
         return self.runner(scale)
 
 
@@ -34,13 +40,44 @@ REGISTRY: Dict[str, Experiment] = {}
 
 
 def register(exp_id: str, title: str, paper_claim: str):
-    """Decorator registering a ``run(scale) -> List[Table]`` function."""
+    """Decorator registering a ``run(scale) -> List[Table]`` function.
+
+    Runners may additionally accept a ``jobs`` keyword; the registry detects
+    it so ``Experiment.run(..., jobs=N)`` only forwards it where supported.
+    """
     def decorate(func):
         if exp_id in REGISTRY:
             raise ValueError(f"duplicate experiment id {exp_id!r}")
-        REGISTRY[exp_id] = Experiment(exp_id, title, paper_claim, func)
+        accepts_jobs = "jobs" in inspect.signature(func).parameters
+        REGISTRY[exp_id] = Experiment(exp_id, title, paper_claim, func,
+                                      accepts_jobs)
         return func
     return decorate
+
+
+def _apply_point(task):
+    """Pool worker for :func:`map_points` (module level for pickling)."""
+    func, point = task
+    return func(point)
+
+
+def map_points(func: Callable, points: Sequence, jobs: int = 1) -> List:
+    """Evaluate ``func`` over independent sweep points, preserving order.
+
+    With ``jobs > 1`` the points run across a process pool — each sweep
+    point owns its own :class:`~repro.sim.core.Simulator`, so results are
+    identical to the serial path; only wall-clock changes.  ``func`` must be
+    a module-level callable and its result picklable.
+    """
+    points = list(points)
+    if jobs <= 1 or len(points) <= 1:
+        return [func(point) for point in points]
+    import multiprocessing as mp
+
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork") if "fork" in methods else mp.get_context()
+    with ctx.Pool(min(jobs, len(points))) as pool:
+        return pool.map(_apply_point, [(func, point) for point in points])
 
 
 def get_experiment(exp_id: str) -> Experiment:

@@ -3,8 +3,13 @@
 Usage::
 
     mantle-exp list
-    mantle-exp run fig12 [--scale quick|full]
-    mantle-exp all [--scale quick|full]
+    mantle-exp run fig12 [--scale quick|full] [--jobs N]
+    mantle-exp all [--scale quick|full] [--jobs N]
+
+``run --jobs N`` fans a sweep experiment's per-point simulators across N
+worker processes; ``all --jobs N`` runs whole experiments concurrently.
+Either way the simulated results are identical to a serial run — only
+wall-clock changes — and output is printed in deterministic registry order.
 """
 
 from __future__ import annotations
@@ -16,6 +21,10 @@ import time
 
 from repro.bench.report import print_tables, table_to_jsonable
 from repro.experiments import get_experiment, list_experiments
+from repro.experiments.runner import (
+    run_experiments,
+    wallclock_table,
+)
 
 
 def _cmd_list(_args) -> int:
@@ -25,10 +34,10 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-def _run_one(exp_id: str, scale: str, json_path=None) -> None:
+def _run_one(exp_id: str, scale: str, json_path=None, jobs: int = 1) -> None:
     experiment = get_experiment(exp_id)
     started = time.time()
-    tables = experiment.run(scale=scale)
+    tables = experiment.run(scale=scale, jobs=jobs)
     header = (f"### {experiment.id}: {experiment.title} "
               f"(scale={scale}, {time.time() - started:.1f}s wall)")
     print_tables(tables, header=header)
@@ -46,15 +55,33 @@ def _run_one(exp_id: str, scale: str, json_path=None) -> None:
 
 
 def _cmd_run(args) -> int:
-    _run_one(args.experiment, args.scale, json_path=args.json)
+    _run_one(args.experiment, args.scale, json_path=args.json,
+             jobs=args.jobs)
     return 0
 
 
 def _cmd_all(args) -> int:
-    for experiment in list_experiments():
-        _run_one(experiment.id, args.scale)
+    started = time.time()
+
+    def show(outcome) -> None:
+        header = (f"### {outcome.exp_id}: {outcome.title} "
+                  f"(scale={args.scale}, {outcome.wall_s:.1f}s wall)")
+        if outcome.ok:
+            print_tables(outcome.tables, header=header)
+        else:
+            print(header)
+            print(outcome.error, file=sys.stderr)
         print()
-    return 0
+
+    outcomes = run_experiments(scale=args.scale, jobs=args.jobs,
+                               on_result=show)
+    # Wall-clock summary, slowest first, so perf regressions are visible
+    # without digging through BENCH_wallclock.json.
+    summary = wallclock_table(outcomes)
+    summary.add_note(f"end-to-end wall time {time.time() - started:.1f}s "
+                     f"(jobs={args.jobs})")
+    print_tables([summary])
+    return 0 if all(o.ok for o in outcomes) else 1
 
 
 def main(argv=None) -> int:
@@ -67,11 +94,15 @@ def main(argv=None) -> int:
     run_parser.add_argument("experiment")
     run_parser.add_argument("--scale", choices=("quick", "full"),
                             default="quick")
+    run_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="fan sweep points across N worker processes")
     run_parser.add_argument("--json", metavar="PATH", default=None,
                             help="also write the tables as JSON")
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--scale", choices=("quick", "full"),
                             default="quick")
+    all_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="run N experiments concurrently")
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all}
     return handlers[args.command](args)

@@ -13,27 +13,34 @@ from typing import List
 
 from repro.bench.cluster import SYSTEMS
 from repro.bench.report import Table, ratio
-from repro.experiments.base import mdtest_metrics, pick, register
+from repro.experiments.base import map_points, mdtest_metrics, pick, register
 
 OPS = ("create", "delete", "objstat", "dirstat")
+
+
+def _throughput_point(point) -> float:
+    """One (system, op) sweep cell; each runs its own Simulator."""
+    system_name, op, clients, items = point
+    metrics = mdtest_metrics(system_name, op, clients=clients, items=items)
+    return metrics.throughput_kops()
 
 
 @register("fig12", "Throughput of object ops and directory reads",
           "Tectonic < InfiniFS < LocoFS < Mantle; Mantle 2.49-4.30x over "
           "Tectonic")
-def run(scale: str = "quick") -> List[Table]:
+def run(scale: str = "quick", jobs: int = 1) -> List[Table]:
     clients = pick(scale, 64, 192)
     items = pick(scale, 12, 30)
     table = Table(
         "Figure 12: throughput (Kop/s), depth-10 paths",
         ["op"] + list(SYSTEMS) + ["mantle/tectonic", "mantle/infinifs",
                                   "mantle/locofs"])
-    for op in OPS:
-        throughput = {}
-        for system_name in SYSTEMS:
-            metrics = mdtest_metrics(system_name, op, clients=clients,
-                                     items=items)
-            throughput[system_name] = metrics.throughput_kops()
+    points = [(system_name, op, clients, items)
+              for op in OPS for system_name in SYSTEMS]
+    results = map_points(_throughput_point, points, jobs=jobs)
+    for i, op in enumerate(OPS):
+        row = results[i * len(SYSTEMS):(i + 1) * len(SYSTEMS)]
+        throughput = dict(zip(SYSTEMS, row))
         table.add_row(
             op,
             *[round(throughput[s], 1) for s in SYSTEMS],

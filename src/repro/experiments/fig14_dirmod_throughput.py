@@ -15,31 +15,38 @@ from typing import List
 
 from repro.bench.cluster import SYSTEMS
 from repro.bench.report import Table, ratio
-from repro.experiments.base import mdtest_metrics, pick, register
+from repro.experiments.base import map_points, mdtest_metrics, pick, register
 
 CASES = (("mkdir", "exclusive"), ("mkdir", "shared"),
          ("dirrename", "exclusive"), ("dirrename", "shared"))
 
 
+def _dirmod_point(point):
+    """One (case, system) sweep cell -> (throughput, retries)."""
+    system_name, op, mode, clients, items = point
+    metrics = mdtest_metrics(system_name, op, mode=mode, clients=clients,
+                             items=items)
+    return metrics.throughput_kops(), metrics.retries
+
+
 @register("fig14", "Throughput of directory modifications",
           "Mantle highest in all four cases; delta records rescue the "
           "shared-directory cases")
-def run(scale: str = "quick") -> List[Table]:
+def run(scale: str = "quick", jobs: int = 1) -> List[Table]:
     clients = pick(scale, 64, 160)
     items = pick(scale, 10, 24)
     table = Table(
         "Figure 14: directory-modification throughput (Kop/s)",
         ["case"] + list(SYSTEMS) +
         ["mantle speedup vs best baseline", "baseline retries (worst)"])
-    for op, mode in CASES:
+    points = [(system_name, op, mode, clients, items)
+              for op, mode in CASES for system_name in SYSTEMS]
+    results = map_points(_dirmod_point, points, jobs=jobs)
+    for i, (op, mode) in enumerate(CASES):
         suffix = "-s" if mode == "shared" else "-e"
-        throughput = {}
-        retries = {}
-        for system_name in SYSTEMS:
-            metrics = mdtest_metrics(system_name, op, mode=mode,
-                                     clients=clients, items=items)
-            throughput[system_name] = metrics.throughput_kops()
-            retries[system_name] = metrics.retries
+        row = results[i * len(SYSTEMS):(i + 1) * len(SYSTEMS)]
+        throughput = {s: r[0] for s, r in zip(SYSTEMS, row)}
+        retries = {s: r[1] for s, r in zip(SYSTEMS, row)}
         best_baseline = max(throughput[s] for s in SYSTEMS if s != "mantle")
         table.add_row(
             f"{op}{suffix}",

@@ -13,29 +13,38 @@ from typing import List
 
 from repro.bench.cluster import SYSTEMS
 from repro.bench.report import Table, ratio
-from repro.experiments.base import mdtest_metrics, pick, register
+from repro.experiments.base import map_points, mdtest_metrics, pick, register
 from repro.sim.stats import PHASE_LOOKUP
+
+DEPTHS = (2, 4, 6, 8, 10)
+
+
+def _lookup_point(point) -> float:
+    """One (system, depth) sweep cell -> mean lookup-phase latency."""
+    system_name, depth, clients, items = point
+    metrics = mdtest_metrics(system_name, "objstat", depth=depth,
+                             clients=clients, items=items)
+    return metrics.phase_breakdown("objstat")[PHASE_LOOKUP]
 
 
 @register("fig17", "Impact of depth on path resolution",
           "Tectonic grows linearly with depth (6.82x at 10); Mantle stays "
           "flat (1.09x)")
-def run(scale: str = "quick") -> List[Table]:
+def run(scale: str = "quick", jobs: int = 1) -> List[Table]:
     clients = pick(scale, 48, 128)
     items = pick(scale, 10, 24)
-    depths = (2, 4, 6, 8, 10)
+    depths = DEPTHS
     table = Table(
         "Figure 17: mean lookup latency (us) vs path depth",
         ["system"] + [f"depth {d}" for d in depths] +
         ["depth10 / depth2", "paper ratio"])
     paper_ratio = {"tectonic": 6.82, "infinifs": 6.4,
                    "locofs": float("nan"), "mantle": 1.09}
-    for system_name in SYSTEMS:
-        lookups = []
-        for depth in depths:
-            metrics = mdtest_metrics(system_name, "objstat", depth=depth,
-                                     clients=clients, items=items)
-            lookups.append(metrics.phase_breakdown("objstat")[PHASE_LOOKUP])
+    points = [(system_name, depth, clients, items)
+              for system_name in SYSTEMS for depth in depths]
+    results = map_points(_lookup_point, points, jobs=jobs)
+    for i, system_name in enumerate(SYSTEMS):
+        lookups = results[i * len(depths):(i + 1) * len(depths)]
         table.add_row(
             system_name,
             *[round(v, 1) for v in lookups],

@@ -15,7 +15,7 @@ from repro.bench.cluster import build_system
 from repro.bench.harness import run_workload
 from repro.bench.report import Table, ratio
 from repro.core.config import MantleConfig
-from repro.experiments.base import pick, register
+from repro.experiments.base import map_points, pick, register
 from repro.workloads.mdtest import MdtestWorkload
 from repro.workloads.namespace import build_namespace, populate
 
@@ -35,22 +35,31 @@ def _run(config: MantleConfig, op: str, clients: int, items: int,
         system.shutdown()
 
 
+def _scal_point(point) -> float:
+    """One sweep cell: (config, op, clients, items, prefill) -> Kop/s."""
+    config, op, clients, items, prefill = point
+    return _run(config, op, clients, items, prefill)
+
+
 @register("fig19", "Scalability: namespace size and client count",
           "flat throughput up to 10B-entry namespaces; follower/learner "
           "reads scale lookups ~5x past a single node")
-def run(scale: str = "quick") -> List[Table]:
+def run(scale: str = "quick", jobs: int = 1) -> List[Table]:
     items = pick(scale, 10, 20)
     clients = pick(scale, 48, 96)
 
     size_table = Table(
         "Figure 19a: throughput vs namespace size (Kop/s)",
         ["pre-filled entries", "objstat", "create"])
-    for prefill in pick(scale, (0, 2000, 8000), (0, 10000, 50000)):
-        base = MantleConfig()
+    prefills = pick(scale, (0, 2000, 8000), (0, 10000, 50000))
+    size_points = [(MantleConfig(), op, clients, items, prefill)
+                   for prefill in prefills for op in ("objstat", "create")]
+    size_results = map_points(_scal_point, size_points, jobs=jobs)
+    for i, prefill in enumerate(prefills):
         size_table.add_row(
             prefill * 11 if prefill else 0,  # dirs + 10 objects each
-            round(_run(base, "objstat", clients, items, prefill), 1),
-            round(_run(base, "create", clients, items, prefill), 1))
+            round(size_results[2 * i], 1),
+            round(size_results[2 * i + 1], 1))
     size_table.add_note("paper sweeps 1B-10B entries; hash-partitioned "
                         "shards and hash caches are size-invariant, which "
                         "is the property under test")
@@ -63,11 +72,19 @@ def run(scale: str = "quick") -> List[Table]:
     leader_only = MantleConfig(enable_follower_read=False)
     followers = MantleConfig(enable_follower_read=True)
     learners = MantleConfig(enable_follower_read=True, num_learners=2)
-    for count in pick(scale, (32, 128, 320), (64, 256, 640)):
-        create_kops = _run(MantleConfig(), "create", count, items)
-        solo = _run(leader_only, "objstat", count, items)
-        with_followers = _run(followers, "objstat", count, items)
-        with_learners = _run(learners, "objstat", count, items)
+    counts = pick(scale, (32, 128, 320), (64, 256, 640))
+    client_points = []
+    for count in counts:
+        client_points += [
+            (MantleConfig(), "create", count, items, 0),
+            (leader_only, "objstat", count, items, 0),
+            (followers, "objstat", count, items, 0),
+            (learners, "objstat", count, items, 0),
+        ]
+    client_results = map_points(_scal_point, client_points, jobs=jobs)
+    for i, count in enumerate(counts):
+        create_kops, solo, with_followers, with_learners = (
+            client_results[4 * i:4 * i + 4])
         client_table.add_row(
             count,
             round(create_kops, 1),

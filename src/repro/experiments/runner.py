@@ -1,0 +1,122 @@
+"""Parallel experiment executor behind ``mantle-exp all --jobs N``.
+
+Every experiment owns an independent :class:`repro.sim.core.Simulator`, so
+experiments are embarrassingly parallel: this module fans them out over a
+``multiprocessing`` pool and merges the results back in registry order, so
+the output is byte-identical no matter how many workers ran or in which
+order they finished.  Simulated results are unaffected by parallelism by
+construction — each worker runs exactly the code the serial path runs.
+
+Sweep-style experiments additionally fan their per-point simulators across
+workers via :func:`repro.experiments.base.map_points` when invoked with
+``jobs > 1`` (``mantle-exp run fig19 --jobs 4``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import traceback
+from typing import List, Optional, Sequence
+
+from repro.bench.report import Table
+from repro.experiments.base import get_experiment, list_experiments
+
+
+@dataclasses.dataclass
+class ExperimentOutcome:
+    """Result of one experiment run: tables plus wall-clock accounting."""
+
+    exp_id: str
+    title: str
+    wall_s: float
+    tables: List[Table]
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _run_worker(args) -> ExperimentOutcome:
+    """Pool worker: run one experiment and time it (module-level for
+    pickling)."""
+    exp_id, scale, jobs = args
+    # Imported for its side effect: populates the registry in freshly
+    # spawned workers (fork inherits it, spawn does not).
+    import repro.experiments  # noqa: F401
+    experiment = get_experiment(exp_id)
+    started = time.perf_counter()
+    try:
+        tables = experiment.run(scale=scale, jobs=jobs)
+    except Exception:  # noqa: BLE001 - reported to the merge step
+        return ExperimentOutcome(exp_id, experiment.title,
+                                 time.perf_counter() - started, [],
+                                 error=traceback.format_exc())
+    return ExperimentOutcome(exp_id, experiment.title,
+                             time.perf_counter() - started, tables)
+
+
+def resolve_ids(exp_ids: Optional[Sequence[str]]) -> List[str]:
+    """Normalise a user-supplied id list to registry order (deterministic
+    merge order); ``None`` means every registered experiment."""
+    if exp_ids is None:
+        return [e.id for e in list_experiments()]
+    known = {e.id for e in list_experiments()}
+    ordered = [e.id for e in list_experiments() if e.id in set(exp_ids)]
+    unknown = [i for i in exp_ids if i not in known]
+    if unknown:
+        raise KeyError(f"unknown experiments: {', '.join(unknown)}")
+    return ordered
+
+
+def run_experiments(exp_ids: Optional[Sequence[str]] = None,
+                    scale: str = "quick", jobs: int = 1,
+                    sweep_jobs: int = 1, quiet: bool = False,
+                    on_result=None) -> List[ExperimentOutcome]:
+    """Run experiments, optionally across ``jobs`` worker processes.
+
+    Results are always returned (and streamed to ``on_result``) in registry
+    order regardless of completion order.  ``sweep_jobs`` is forwarded to
+    each experiment's own point-level fan-out and should stay 1 when
+    ``jobs > 1`` to avoid nested pools.
+    """
+    ids = resolve_ids(exp_ids)
+    outcomes: List[ExperimentOutcome] = []
+
+    def emit(outcome: ExperimentOutcome) -> None:
+        outcomes.append(outcome)
+        if on_result is not None and not quiet:
+            on_result(outcome)
+
+    if jobs <= 1 or len(ids) <= 1:
+        for exp_id in ids:
+            emit(_run_worker((exp_id, scale, sweep_jobs)))
+        return outcomes
+
+    import multiprocessing as mp
+
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork") if "fork" in methods else mp.get_context()
+    tasks = [(exp_id, scale, sweep_jobs) for exp_id in ids]
+    with ctx.Pool(min(jobs, len(ids))) as pool:
+        # imap (not imap_unordered): completion order may vary, delivery
+        # order is registry order — deterministic merge for free.
+        for outcome in pool.imap(_run_worker, tasks):
+            emit(outcome)
+    return outcomes
+
+
+def wallclock_table(outcomes: Sequence[ExperimentOutcome]) -> Table:
+    """Per-experiment wall-clock summary, slowest first."""
+    total = sum(o.wall_s for o in outcomes)
+    table = Table("Wall-clock per experiment (slowest first)",
+                  ["experiment", "wall (s)", "% of total", "status"])
+    for outcome in sorted(outcomes, key=lambda o: -o.wall_s):
+        table.add_row(
+            outcome.exp_id,
+            round(outcome.wall_s, 2),
+            round(100.0 * outcome.wall_s / total, 1) if total > 0 else 0.0,
+            "ok" if outcome.ok else "ERROR")
+    table.add_note(f"total {total:.1f}s across {len(outcomes)} experiments")
+    return table

@@ -9,14 +9,39 @@ one-shot events, process join, interrupts for failure injection, and strict
 determinism (FIFO tie-breaking on equal timestamps).
 
 Time is a float in simulated microseconds.
+
+Scheduling uses two tiers.  Delayed events go through a binary heap keyed by
+``(time, seq)``.  Zero-delay events — event triggers, process completions,
+resource grants — go through a FIFO *microtask* deque instead, skipping the
+heap entirely.  The total order is identical to running everything through
+the heap: a heap entry at the current timestamp was necessarily pushed at an
+earlier simulated time (a push at the current time lands in the deque), so
+it carries a smaller sequence number than anything in the deque, and deque
+entries preserve FIFO order among themselves.  The event loop therefore
+drains heap entries at the current time first, then the deque, then advances
+the clock.  ``Simulator(fast_paths=False)`` (or ``MANTLE_SIM_FAST=0`` in the
+environment) disables the deque and the deferred-resume microtasks, pushing
+every event through the heap as the original kernel did — the two modes must
+produce bit-identical simulated results, which ``tests/experiments/
+test_fastpath_determinism.py`` enforces.
 """
 
 from __future__ import annotations
 
+import collections
 import heapq
+import os
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from heapq import heappush as _heappush
+
 _PENDING = object()
+
+
+def _fast_paths_default() -> bool:
+    """Fast paths are on unless ``MANTLE_SIM_FAST`` disables them."""
+    return os.environ.get("MANTLE_SIM_FAST", "1").lower() not in (
+        "0", "false", "off", "no")
 
 
 class SimulationError(RuntimeError):
@@ -40,13 +65,15 @@ class Event:
 
     An event is *triggered* once :meth:`succeed` or :meth:`fail` is called,
     and *processed* once the kernel has delivered it to all callbacks.
+    Callback lists may contain ``None`` tombstones left by O(1) detaches;
+    the event loop skips them.
     """
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.callbacks: Optional[List[Optional[Callable[["Event"], None]]]] = []
         self._value: Any = _PENDING
         self._ok = True
         self._defused = False
@@ -61,7 +88,7 @@ class Event:
 
     @property
     def ok(self) -> bool:
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimulationError("event not yet triggered")
         return self._ok
 
@@ -72,21 +99,31 @@ class Event:
         return self._value
 
     def succeed(self, value: Any = None) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
-        self.sim._enqueue(self)
+        sim = self.sim
+        if sim._fast:
+            sim._micro.append(self)
+        else:
+            sim._seq += 1
+            _heappush(sim._queue, (sim._now, sim._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() needs an exception instance")
         self._ok = False
         self._value = exception
-        self.sim._enqueue(self)
+        sim = self.sim
+        if sim._fast:
+            sim._micro.append(self)
+        else:
+            sim._seq += 1
+            _heappush(sim._queue, (sim._now, sim._seq, self))
         return self
 
     def defused(self) -> "Event":
@@ -103,14 +140,36 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
+        # Flat slot initialisation (no super() chain): this constructor is
+        # the hottest allocation site in the kernel.
+        self.sim = sim
+        self.callbacks = []
         self._ok = True
         self._value = value
-        sim._enqueue(self, delay)
+        self._defused = False
+        self.delay = delay
+        when = sim._now + delay
+        if when == sim._now and sim._fast:
+            sim._micro.append(self)
+        else:
+            sim._seq += 1
+            _heappush(sim._queue, (when, sim._seq, self))
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
         raise SimulationError("timeouts trigger themselves")
+
+
+class _Bootstrap:
+    """Pseudo-trigger used to kick off a process without a heap round trip."""
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+    callbacks = None
+    _defused = True
+
+
+_INIT = _Bootstrap()
 
 
 class Process(Event):
@@ -118,61 +177,77 @@ class Process(Event):
     triggers with the generator's return value (so processes can be joined
     by yielding them)."""
 
-    __slots__ = ("_generator", "_waiting_on", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_waiting_on",
+                 "_waiting_index", "_cb", "name")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
             raise SimulationError(f"process body must be a generator, got {generator!r}")
         super().__init__(sim)
         self._generator = generator
+        self._send = generator.send
+        self._throw = generator.throw
         self._waiting_on: Optional[Event] = None
+        self._waiting_index = -1
+        # One bound method reused for every wait; also the identity token the
+        # O(1) tombstone detach compares against.
+        self._cb = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         # Kick off at the current simulation time.
-        bootstrap = Event(sim)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        if sim._fast:
+            sim._micro.append((self._cb, _INIT))
+        else:
+            bootstrap = Event(sim)
+            bootstrap.callbacks.append(self._cb)
+            bootstrap.succeed()
 
     @property
     def is_alive(self) -> bool:
-        return not self.triggered
+        return self._value is _PENDING
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         ev = Event(self.sim)
         ev._ok = False
         ev._value = Interrupt(cause)
         ev._defused = True
-        ev.callbacks.append(self._resume)
+        ev.callbacks.append(self._cb)
         self.sim._enqueue(ev)
 
     def _resume(self, trigger: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return  # interrupted-and-finished race
         # Detach from whatever we were waiting on.
         waited = self._waiting_on
-        self._waiting_on = None
-        if waited is not None and waited is not trigger and waited.callbacks is not None:
-            try:
-                waited.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-        self.sim._active_process = self
+        if waited is not None:
+            self._waiting_on = None
+            if waited is not trigger and waited.callbacks is not None:
+                # O(1) detach: we recorded where we appended our callback and
+                # tombstone that slot instead of scanning the whole list.
+                cbs = waited.callbacks
+                idx = self._waiting_index
+                if 0 <= idx < len(cbs) and cbs[idx] is self._cb:
+                    cbs[idx] = None
+                else:  # pragma: no cover - defensive fallback
+                    try:
+                        cbs.remove(self._cb)
+                    except ValueError:
+                        pass
         try:
             if trigger._ok:
-                target = self._generator.send(trigger._value)
+                target = self._send(trigger._value)
             else:
                 trigger._defused = True
-                target = self._generator.throw(trigger._value)
+                target = self._throw(trigger._value)
         except StopIteration as stop:
             self._finish(True, stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - modelled failure path
             self._finish(False, exc)
             return
-        finally:
-            self.sim._active_process = None
+        sim = self.sim
         if not isinstance(target, Event):
             kind = type(target).__name__
             self._generator.close()
@@ -184,27 +259,42 @@ class Process(Event):
                 ),
             )
             return
-        if target.sim is not self.sim:
+        if target.sim is not sim:
             self._finish(False, SimulationError("yielded event from another simulator"))
             return
         self._waiting_on = target
-        if target.callbacks is None:
-            # Already processed: resume immediately (same timestamp).
-            ev = Event(self.sim)
-            ev._ok = target._ok
-            ev._value = target._value
-            if not target._ok:
-                target._defused = True
-                ev._defused = True
-            ev.callbacks.append(self._resume)
-            self.sim._enqueue(ev)
+        cbs = target.callbacks
+        if cbs is None:
+            # Already processed: resume at the same timestamp.  The fast path
+            # queues a deferred callback instead of allocating a fresh
+            # wrapper Event and round-tripping it through the heap.
+            if sim._fast:
+                if not target._ok:
+                    target._defused = True
+                sim._micro.append((self._cb, target))
+            else:
+                ev = Event(sim)
+                ev._ok = target._ok
+                ev._value = target._value
+                if not target._ok:
+                    target._defused = True
+                    ev._defused = True
+                ev.callbacks.append(self._cb)
+                sim._enqueue(ev)
+            self._waiting_index = -1
         else:
-            target.callbacks.append(self._resume)
+            self._waiting_index = len(cbs)
+            cbs.append(self._cb)
 
     def _finish(self, ok: bool, value: Any) -> None:
         self._ok = ok
         self._value = value
-        self.sim._enqueue(self)
+        sim = self.sim
+        if sim._fast:
+            sim._micro.append(self)
+        else:
+            sim._seq += 1
+            _heappush(sim._queue, (sim._now, sim._seq, self))
 
 
 class _Condition(Event):
@@ -214,19 +304,20 @@ class _Condition(Event):
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
-        self.events = list(events)
-        for ev in self.events:
-            if ev.sim is not sim:
-                raise SimulationError("mixing events from different simulators")
-        self._remaining = len(self.events)
-        if not self.events:
+        evs = self.events = list(events)
+        self._remaining = len(evs)
+        if not evs:
             self.succeed([])
             return
-        for ev in self.events:
-            if ev.callbacks is None:
-                self._check(ev)
+        check = self._check
+        for ev in evs:
+            if ev.sim is not sim:
+                raise SimulationError("mixing events from different simulators")
+            cbs = ev.callbacks
+            if cbs is None:
+                check(ev)
             else:
-                ev.callbacks.append(self._check)
+                cbs.append(check)
 
     def _check(self, event: Event) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -241,7 +332,7 @@ class AllOf(_Condition):
     __slots__ = ()
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         if not event._ok:
             event._defused = True
@@ -255,16 +346,24 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Triggers as soon as one child triggers; value is (index, value)."""
 
-    __slots__ = ()
+    __slots__ = ("_indices",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        events = list(events)
+        # O(1) child -> index lookup.  Built back-to-front so the first
+        # occurrence wins for duplicate children, matching ``list.index``.
+        n = len(events)
+        self._indices = {ev: n - 1 - i for i, ev in enumerate(reversed(events))}
+        super().__init__(sim, events)
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         if not event._ok:
             event._defused = True
             self.fail(event._value)
             return
-        self.succeed((self.events.index(event), event._value))
+        self.succeed((self._indices[event], event._value))
 
 
 class Simulator:
@@ -278,11 +377,19 @@ class Simulator:
     >>> sim.run()
     >>> proc.value
     5.0
+
+    ``fast_paths=False`` (or ``MANTLE_SIM_FAST=0``) routes every event
+    through the legacy all-heap scheduler; simulated results are identical
+    either way, only wall-clock differs.
     """
 
-    def __init__(self):
+    def __init__(self, fast_paths: Optional[bool] = None):
+        if fast_paths is None:
+            fast_paths = _fast_paths_default()
+        self._fast = bool(fast_paths)
         self._now = 0.0
         self._queue: List = []
+        self._micro: collections.deque = collections.deque()
         self._seq = 0
         self._active_process: Optional[Process] = None
 
@@ -296,7 +403,26 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        # Inlined Timeout construction (mirrors Timeout.__init__): this is
+        # the single hottest allocation site in every experiment, so it's
+        # worth skipping the constructor-call indirection.
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        t = Timeout.__new__(Timeout)
+        t.sim = self
+        t.callbacks = []
+        t._ok = True
+        t._value = value
+        t._defused = False
+        t.delay = delay
+        now = self._now
+        when = now + delay
+        if when == now and self._fast:
+            self._micro.append(t)
+        else:
+            self._seq += 1
+            _heappush(self._queue, (when, self._seq, t))
+        return t
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name)
@@ -310,31 +436,88 @@ class Simulator:
     # -- scheduling --------------------------------------------------------
 
     def _enqueue(self, event: Event, delay: float = 0.0) -> None:
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        when = self._now + delay
+        if when == self._now and self._fast:
+            self._micro.append(event)
+        else:
+            self._seq += 1
+            _heappush(self._queue, (when, self._seq, event))
 
-    def _step(self) -> None:
-        when, _seq, event = heapq.heappop(self._queue)
-        self._now = when
+    def _dispatch(self, event: Event) -> None:
+        """Deliver one processed event to its callbacks.
+
+        A failed event nobody handled (no live callbacks — tombstones don't
+        count) surfaces its error loudly instead of silently dropping a
+        crashed process.
+        """
         callbacks = event.callbacks
         event.callbacks = None
         if callbacks:
             for callback in callbacks:
-                callback(event)
-        elif not event._ok and not event._defused:
-            # A failed event nobody handled: surface the error loudly
-            # instead of silently dropping a crashed process.
-            raise event._value
+                if callback is not None:
+                    callback(event)
+        if not event._ok and not event._defused:
+            if not callbacks or all(cb is None for cb in callbacks):
+                raise event._value
+
+    def _step(self) -> None:
+        """Process exactly one queue entry (tests and tools; the run loops
+        inline this logic)."""
+        queue = self._queue
+        micro = self._micro
+        if queue and queue[0][0] <= self._now:
+            self._dispatch(heapq.heappop(queue)[2])
+        elif micro:
+            entry = micro.popleft()
+            if type(entry) is tuple:
+                entry[0](entry[1])
+            else:
+                self._dispatch(entry)
+        elif queue:
+            when, _seq, event = heapq.heappop(queue)
+            self._now = when
+            self._dispatch(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Process events until the queue drains or ``until`` is reached."""
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self._now = float(until)
-                return
-            self._step()
-        if until is not None and until > self._now:
-            self._now = float(until)
+        queue = self._queue
+        micro = self._micro
+        heappop = heapq.heappop
+        limit = None if until is None else float(until)
+        now = self._now
+        while True:
+            # Heap entries at the current time predate (carry smaller seq
+            # than) anything in the microtask deque, so they go first.
+            if queue and queue[0][0] <= now:
+                event = heappop(queue)[2]
+            elif micro:
+                entry = micro.popleft()
+                if type(entry) is tuple:
+                    entry[0](entry[1])
+                    continue
+                event = entry
+            elif queue:
+                when = queue[0][0]
+                if limit is not None and when > limit:
+                    self._now = limit
+                    return
+                now = self._now = when
+                event = heappop(queue)[2]
+            else:
+                break
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks:
+                for callback in callbacks:
+                    if callback is not None:
+                        callback(event)
+            if not event._ok and not event._defused:
+                # Failed event: loud-crash unless someone actually handled
+                # it (tombstoned slots don't count as handlers).
+                if not callbacks or all(cb is None for cb in callbacks):
+                    raise event._value
+        if limit is not None and limit > now:
+            self._now = limit
 
     def run_until(self, event: Event) -> None:
         """Process events until ``event`` triggers (or the queue drains).
@@ -343,8 +526,33 @@ class Simulator:
         perpetual background processes (compactors, Raft heartbeats) keep
         the queue non-empty.
         """
-        while not event.triggered and self._queue:
-            self._step()
+        queue = self._queue
+        micro = self._micro
+        heappop = heapq.heappop
+        now = self._now
+        while event._value is _PENDING:
+            if queue and queue[0][0] <= now:
+                current = heappop(queue)[2]
+            elif micro:
+                entry = micro.popleft()
+                if type(entry) is tuple:
+                    entry[0](entry[1])
+                    continue
+                current = entry
+            elif queue:
+                when, _seq, current = heappop(queue)
+                now = self._now = when
+            else:
+                break
+            callbacks = current.callbacks
+            current.callbacks = None
+            if callbacks:
+                for callback in callbacks:
+                    if callback is not None:
+                        callback(current)
+            if not current._ok and not current._defused:
+                if not callbacks or all(cb is None for cb in callbacks):
+                    raise current._value
 
     def run_process(self, generator: Generator, name: str = "") -> Any:
         """Convenience: spawn a process, run until it completes, return its

@@ -16,7 +16,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.errors import ServiceUnavailableError
-from repro.sim.core import Simulator
+from repro.sim.core import Simulator, Timeout
 from repro.sim.resources import Resource
 
 
@@ -95,13 +95,14 @@ class Host:
         """
         if self.crashed:
             raise ServiceUnavailableError(self.name)
-        req = self.cpu.request()
+        cpu = self.cpu
+        req = cpu.request()
         yield req
         try:
-            yield self.sim.timeout(us)
+            yield Timeout(self.sim, us)
             self.cpu_busy_us += us
         finally:
-            self.cpu.release(req)
+            cpu.release(req)
         if self.crashed:
             raise ServiceUnavailableError(self.name)
 

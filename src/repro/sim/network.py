@@ -13,7 +13,7 @@ import random
 from typing import Any, Optional
 
 from repro.errors import ServiceUnavailableError
-from repro.sim.core import Simulator
+from repro.sim.core import Simulator, Timeout
 from repro.sim.host import Host
 from repro.sim.stats import OpContext
 
@@ -39,7 +39,11 @@ class Network:
     def transit(self):
         """One-way message flight."""
         self.message_count += 1
-        yield self.sim.timeout(self._sample_one_way())
+        if self.jitter_frac <= 0:
+            # Jitter-free fast path: fixed latency, no RNG draw.
+            yield Timeout(self.sim, self.one_way_us)
+        else:
+            yield Timeout(self.sim, self._sample_one_way())
 
     def rpc(self, server: "Server", method: str, *args,
             ctx: Optional[OpContext] = None, **kwargs):

@@ -9,28 +9,38 @@ passing (Raft RPCs, background compaction queues).
 from __future__ import annotations
 
 import collections
+from heapq import heappush as _heappush
 from typing import Any, Deque, List
 
-from repro.sim.core import Event, SimulationError, Simulator
+# _PENDING is the kernel's internal "not yet triggered" sentinel; the flat
+# constructors below mirror Event.__init__ without the call indirection.
+from repro.sim.core import _PENDING, Event, SimulationError, Simulator
 
 
 class Request(Event):
     """Pending acquisition of a :class:`Resource` slot."""
 
-    __slots__ = ("resource", "_enqueue_time")
+    __slots__ = ("resource", "_enqueue_time", "_granted")
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.sim)
+        sim = resource.sim
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
-        self._enqueue_time = resource.sim.now
+        self._enqueue_time = sim._now
+        self._granted = False
 
     def cancel(self) -> None:
         """Withdraw a not-yet-granted request (e.g. on interrupt)."""
-        if not self.triggered:
-            try:
-                self.resource._waiting.remove(self)
-            except ValueError:
-                pass
+        if self._granted or self.triggered:
+            return
+        try:
+            self.resource._waiting.remove(self)
+        except ValueError:
+            pass
 
 
 class Resource:
@@ -44,6 +54,9 @@ class Resource:
             yield sim.timeout(cost)
         finally:
             cpu.release(req)
+
+    Grant/release bookkeeping is counters-only on the hot path: holding is a
+    flag on the :class:`Request` itself rather than a per-grant dict entry.
     """
 
     def __init__(self, sim: Simulator, capacity: int):
@@ -58,7 +71,6 @@ class Resource:
         self.peak_in_use = 0
         self.total_grants = 0
         self.total_wait_time = 0.0
-        self._grant_times = {}
 
     @property
     def in_use(self) -> int:
@@ -71,31 +83,49 @@ class Resource:
     def request(self) -> Request:
         req = Request(self)
         if self._in_use < self.capacity:
-            self._grant(req)
+            # Uncontended fast path: grant inline (counters only, and the
+            # trigger is enqueued directly — the request is fresh, so the
+            # already-triggered guard in Event.succeed cannot fire).
+            in_use = self._in_use + 1
+            self._in_use = in_use
+            self.total_grants += 1
+            if in_use > self.peak_in_use:
+                self.peak_in_use = in_use
+            req._granted = True
+            req._value = None
+            sim = self.sim
+            if sim._fast:
+                sim._micro.append(req)
+            else:
+                sim._seq += 1
+                _heappush(sim._queue, (sim._now, sim._seq, req))
         else:
             self._waiting.append(req)
         return req
 
     def release(self, request: Request) -> None:
-        if not request.triggered:
-            # Never granted: just withdraw it.
-            request.cancel()
-            return
-        if request not in self._grant_times:
+        if not request._granted:
+            if not request.triggered:
+                # Never granted: just withdraw it.
+                request.cancel()
+                return
             raise SimulationError("release of a request that is not held")
-        del self._grant_times[request]
+        request._granted = False
         self._in_use -= 1
-        while self._waiting and self._in_use < self.capacity:
-            nxt = self._waiting.popleft()
-            waited = self.sim.now - getattr(nxt, "_enqueue_time", self.sim.now)
-            self.total_wait_time += waited
-            self._grant(nxt)
+        if self._waiting and self._in_use < self.capacity:
+            now = self.sim._now
+            while self._waiting and self._in_use < self.capacity:
+                nxt = self._waiting.popleft()
+                self.total_wait_time += now - nxt._enqueue_time
+                self._grant(nxt)
 
     def _grant(self, req: Request) -> None:
-        self._in_use += 1
+        in_use = self._in_use + 1
+        self._in_use = in_use
         self.total_grants += 1
-        self.peak_in_use = max(self.peak_in_use, self._in_use)
-        self._grant_times[req] = self.sim.now
+        if in_use > self.peak_in_use:
+            self.peak_in_use = in_use
+        req._granted = True
         req.succeed()
 
 
@@ -115,17 +145,26 @@ class Store:
         return len(self._items)
 
     def put(self, item: Any) -> None:
-        while self._getters:
-            getter = self._getters.popleft()
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
             if not getter.triggered:
                 getter.succeed(item)
                 return
         self._items.append(item)
 
     def get(self) -> Event:
-        ev = Event(self.sim)
+        sim = self.sim
+        ev = Event(sim)
         if self._items:
-            ev.succeed(self._items.popleft())
+            # Non-empty fast path: trigger inline (fresh event, _ok is
+            # already True).
+            ev._value = self._items.popleft()
+            if sim._fast:
+                sim._micro.append(ev)
+            else:
+                sim._seq += 1
+                _heappush(sim._queue, (sim._now, sim._seq, ev))
         else:
             self._getters.append(ev)
         return ev

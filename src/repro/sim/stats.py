@@ -123,6 +123,12 @@ class LatencyRecorder:
         return (len(data) - idx) / len(data)
 
 
+#: Shared immutable stand-in for "no phases recorded yet"; real dicts are
+#: allocated lazily on first use so the per-op hot loop skips two dict
+#: allocations for phase-less operations.
+_NO_PHASES: Dict[str, float] = {}
+
+
 class OpContext:
     """Per-operation measurement context threaded through orchestration code.
 
@@ -139,19 +145,24 @@ class OpContext:
         self.op = op
         self.rpcs = 0
         self.retries = 0
-        self.phases: Dict[str, float] = {}
-        self._open: Dict[str, float] = {}
+        self.phases: Dict[str, float] = _NO_PHASES
+        self._open: Optional[Dict[str, float]] = None
         self.start: Optional[float] = None
         self.finish: Optional[float] = None
 
     def begin(self, phase: str, now: float) -> None:
+        if self._open is None:
+            self._open = {}
         self._open[phase] = now
 
     def end(self, phase: str, now: float) -> None:
-        started = self._open.pop(phase, None)
+        started = self._open.pop(phase, None) if self._open else None
         if started is None:
             raise ValueError(f"phase {phase!r} was not begun")
-        self.phases[phase] = self.phases.get(phase, 0.0) + (now - started)
+        phases = self.phases
+        if phases is _NO_PHASES:
+            phases = self.phases = {}
+        phases[phase] = phases.get(phase, 0.0) + (now - started)
 
     def phase_time(self, phase: str) -> float:
         return self.phases.get(phase, 0.0)
@@ -179,11 +190,13 @@ class MetricSet:
     def record(self, ctx: OpContext) -> None:
         self.ops_completed += 1
         self.retries += ctx.retries
-        self.latency.setdefault(ctx.op, LatencyRecorder(ctx.op)).add(ctx.latency)
-        self.rpc_rounds.setdefault(ctx.op, LatencyRecorder(ctx.op)).add(float(ctx.rpcs))
-        for phase, spent in ctx.phases.items():
-            key = (ctx.op, phase)
-            self.phase_latency.setdefault(key, LatencyRecorder(ctx.op)).add(spent)
+        op = ctx.op
+        self.latency.setdefault(op, LatencyRecorder(op)).add(ctx.latency)
+        self.rpc_rounds.setdefault(op, LatencyRecorder(op)).add(float(ctx.rpcs))
+        if ctx.phases:
+            for phase, spent in ctx.phases.items():
+                key = (op, phase)
+                self.phase_latency.setdefault(key, LatencyRecorder(op)).add(spent)
 
     def record_failure(self, ctx: OpContext) -> None:
         self.ops_failed += 1

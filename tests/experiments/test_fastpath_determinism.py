@@ -1,0 +1,103 @@
+"""Fast-path regression gate: kernel optimisations must not move results.
+
+The two-tier scheduler in ``repro.sim.core`` (microtask deque + heap) is a
+pure wall-clock optimisation — every simulated timestamp, throughput figure
+and RPC count must be bit-identical to the legacy all-heap path.  These
+tests pin that down at three levels:
+
+* a kernel-level trace with the ``Simulator(fast_paths=...)`` kwarg,
+* a full mdtest run toggled via the ``MANTLE_SIM_FAST`` env flag,
+* fig12 at quick scale, run twice and against the legacy kernel.
+"""
+
+import pytest
+
+from repro.bench.cluster import build_system
+from repro.bench.harness import run_workload
+from repro.experiments import get_experiment
+from repro.sim.core import AnyOf, Simulator
+from repro.sim.resources import Resource
+from repro.workloads.mdtest import MdtestWorkload
+
+
+def _kernel_trace(fast_paths: bool):
+    """A scenario touching every fast path: zero-delay resumes, contended
+    resources, AnyOf fan-out and interrupts.  Returns the (time, label)
+    event trace."""
+    sim = Simulator(fast_paths=fast_paths)
+    resource = Resource(sim, capacity=2)
+    trace = []
+
+    def worker(i):
+        for round_no in range(3):
+            request = resource.request()
+            yield request
+            trace.append((sim.now, f"grant-{i}-{round_no}"))
+            yield sim.timeout(i % 3)  # delay 0 exercises the deque
+            resource.release(request)
+        first = yield AnyOf(sim, [sim.timeout(5), sim.timeout(5),
+                                  sim.timeout(2 + i % 2)])
+        trace.append((sim.now, f"anyof-{i}-{first}"))
+
+    def interrupter(victim):
+        yield sim.timeout(4)
+        victim.interrupt("poke")
+
+    victims = [sim.process(worker(i)) for i in range(8)]
+    sim.process(interrupter(victims[3]))
+    with pytest.raises(Exception):
+        sim.run()  # victim 3 does not catch the interrupt
+    trace.append((sim.now, "end"))
+    return trace
+
+
+def _mdtest_fingerprint():
+    system = build_system("mantle", "quick")
+    try:
+        metrics = run_workload(system, MdtestWorkload(
+            "objstat", depth=8, items=6, num_clients=12))
+    finally:
+        system.shutdown()
+    return (
+        metrics.ops_completed,
+        metrics.retries,
+        round(metrics.duration_us, 6),
+        {op: (rec.count, round(rec.mean, 9))
+         for op, rec in sorted(metrics.latency.items())},
+        {op: (rec.count, round(rec.mean, 9))
+         for op, rec in sorted(metrics.rpc_rounds.items())},
+    )
+
+
+def _fig12_rows():
+    tables = get_experiment("fig12").run(scale="quick")
+    return [tuple(row) for table in tables for row in table.rows]
+
+
+class TestFastPathDeterminism:
+    def test_kernel_trace_fast_equals_legacy(self):
+        assert _kernel_trace(fast_paths=True) == _kernel_trace(
+            fast_paths=False)
+
+    def test_env_flag_disables_fast_paths(self, monkeypatch):
+        monkeypatch.setenv("MANTLE_SIM_FAST", "0")
+        assert Simulator()._fast is False
+        monkeypatch.setenv("MANTLE_SIM_FAST", "1")
+        assert Simulator()._fast is True
+        monkeypatch.delenv("MANTLE_SIM_FAST")
+        assert Simulator()._fast is True  # default on
+
+    def test_mdtest_metrics_identical_fast_vs_legacy(self, monkeypatch):
+        monkeypatch.setenv("MANTLE_SIM_FAST", "1")
+        fast = _mdtest_fingerprint()
+        monkeypatch.setenv("MANTLE_SIM_FAST", "0")
+        legacy = _mdtest_fingerprint()
+        assert fast == legacy
+
+    def test_fig12_quick_identical_across_runs_and_kernels(self, monkeypatch):
+        first = _fig12_rows()
+        second = _fig12_rows()
+        assert first == second
+        monkeypatch.setenv("MANTLE_SIM_FAST", "0")
+        legacy = _fig12_rows()
+        assert first == legacy
