@@ -10,18 +10,24 @@ discrete-event cluster simulator.
 
 Quickstart::
 
-    from repro import MantleClient
+    from repro import MantleClient, MantleConfig
 
-    client = MantleClient()
-    client.mkdir("/datasets/audio/raw")
-    client.create("/datasets/audio/raw/seg-000.bin")
-    print(client.objstat("/datasets/audio/raw/seg-000.bin"))
+    with MantleClient(MantleConfig.small()) as client:
+        client.mkdir("/datasets/audio/raw", parents=True)
+        client.create("/datasets/audio/raw/seg-000.bin")
+        print(client.objstat("/datasets/audio/raw/seg-000.bin"))
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
-paper-versus-measured record of every reproduced table and figure.
+Operations dispatch through the typed registry in :mod:`repro.ops`; mutating
+calls return :class:`~repro.types.OpResult` and span tracing
+(:mod:`repro.sim.trace`, ``MantleConfig(tracing=True)`` or ``MANTLE_TRACE=1``)
+records a hierarchical trace of everything the cluster did.
+
+See ``DESIGN.md`` for the system inventory, ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every reproduced table and figure, and
+``docs/observability.md`` for the tracing layer.
 """
 
-from repro.core.api import MantleClient
+from repro.core.api import BatchResult, MantleClient
 from repro.core.config import MantleConfig
 from repro.errors import (
     AlreadyExistsError,
@@ -33,12 +39,20 @@ from repro.errors import (
     RenameLoopError,
     TransactionAbort,
 )
+from repro.ops import OP_NAMES, Op, make_op
+from repro.types import OpResult, StatResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MantleClient",
     "MantleConfig",
+    "BatchResult",
+    "Op",
+    "OP_NAMES",
+    "make_op",
+    "OpResult",
+    "StatResult",
     "MetadataError",
     "NoSuchPathError",
     "AlreadyExistsError",

@@ -5,23 +5,29 @@ the same seven mdtest operations plus bulk-loading hooks, so the workload
 generators and the benchmark harness never special-case a system.
 
 Operation methods are *generators* running inside the discrete-event
-simulation; ``submit`` is the uniform entry point that stamps the
-:class:`~repro.sim.stats.OpContext` and routes through a round-robin proxy
-choice, mirroring the stateless proxy layer all COSS architectures share.
+simulation; ``perform`` is the uniform typed entry point: it dispatches a
+:class:`repro.ops.Op` through the per-system handler table, stamps the
+:class:`~repro.sim.stats.OpContext`, and (under an enabled tracer) opens the
+operation's root span.  The legacy stringly ``submit(op, *args)`` survives
+as a thin deprecation shim over ``perform``.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Optional
+from typing import Callable, Dict, Optional
 
+from repro.ops import OP_NAMES, Op, make_op
 from repro.sim.core import Simulator
 from repro.sim.network import Network
 from repro.sim.stats import OpContext
 
 #: The mdtest operation names used throughout benchmarks (§6.3).
-OPS = ("create", "delete", "objstat", "dirstat", "readdir",
-       "mkdir", "rmdir", "dirrename", "setattr")
+#: (Alias of :data:`repro.ops.OP_NAMES`; kept for existing importers.)
+OPS = OP_NAMES
+
+#: Operations followed by a data-service access in end-to-end runs (§3).
+_DATA_ACCESS_OPS = frozenset(("create", "delete", "objstat"))
 
 
 class MetadataSystem:
@@ -57,24 +63,65 @@ class MetadataSystem:
         """Client-generated request UUID (idempotent retry support, §5.3)."""
         return f"{self.name}-req-{next(self._uuid_counter)}"
 
-    def submit(self, op: str, *args, ctx: Optional[OpContext] = None):
-        """Run one metadata operation end to end (generator).
-
-        Stamps start/finish times on ``ctx`` and optionally appends the
-        data-service access the paper's Figure 10b end-to-end runs include.
-        """
-        if op not in OPS:
-            raise ValueError(f"unknown operation {op!r}")
-        handler = getattr(self, "op_" + op, None)
+    def _handler_for(self, op_name: str) -> Callable:
+        """Resolve (and cache) the ``op_<name>`` handler for one op type."""
+        table: Optional[Dict[str, Callable]] = getattr(
+            self, "_handler_table", None)
+        if table is None:
+            table = self._handler_table = {}
+        handler = table.get(op_name)
         if handler is None:
-            raise NotImplementedError(f"{self.name} does not implement {op!r}")
+            handler = getattr(self, "op_" + op_name, None)
+            if handler is None:
+                raise NotImplementedError(
+                    f"{self.name} does not implement {op_name!r}")
+            table[op_name] = handler
+        return handler
+
+    def perform(self, op: Op, ctx: Optional[OpContext] = None):
+        """Run one typed metadata operation end to end (generator).
+
+        Stamps start/finish times on ``ctx``, optionally appends the
+        data-service access the paper's Figure 10b end-to-end runs include,
+        and — under an enabled tracer — opens the operation's root span and
+        threads it through ``ctx`` so phases, RPCs and transactions nest
+        beneath it.
+        """
+        handler = self._handler_for(op.name)
         if ctx is None:
-            ctx = OpContext(op)
+            ctx = OpContext(op.name)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            span = tracer.begin(op.name, self.sim.now, category="op",
+                                host=self.name)
+            ctx.trace = span
+            ctx.tracer = tracer
+        else:
+            span = None
         ctx.start = self.sim.now
-        result = yield from handler(*args, ctx=ctx)
-        if self.data_access_enabled and op in ("create", "delete", "objstat"):
-            yield from self.data_access(ctx)
+        try:
+            result = yield from handler(*op.handler_args(), ctx=ctx)
+            if self.data_access_enabled and op.name in _DATA_ACCESS_OPS:
+                yield from self.data_access(ctx)
+        except BaseException:
+            if span is not None:
+                ctx.finish = self.sim.now
+                tracer.end(span, self.sim.now, ok=False)
+            raise
         ctx.finish = self.sim.now
+        if span is not None:
+            tracer.end(span, self.sim.now)
+        return result
+
+    def submit(self, op: str, *args, ctx: Optional[OpContext] = None):
+        """Legacy stringly entry point (deprecated).
+
+        Kept as a shim over :meth:`perform` so existing call sites (and the
+        uniform-driver tests) continue to work; new code should build a
+        :class:`repro.ops.Op` and call ``perform`` directly.  Raises
+        ``ValueError`` for unknown operation names, as it always did.
+        """
+        result = yield from self.perform(make_op(op, *args), ctx=ctx)
         return result
 
     def data_access(self, ctx: OpContext):

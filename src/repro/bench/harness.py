@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import MetadataError
+from repro.ops import make_op
 from repro.sim.stats import MetricSet, OpContext
 
 
@@ -27,13 +28,13 @@ def run_workload(system, workload, num_clients: Optional[int] = None,
 
     def client(cid: int):
         # Hoisted attribute lookups: this loop runs once per simulated op.
-        submit = system.submit
+        perform = system.perform
         record = metrics.record
         record_failure = metrics.record_failure
         for op, args in workload.client_ops(cid):
             ctx = OpContext(op)
             try:
-                yield from submit(op, *args, ctx=ctx)
+                yield from perform(make_op(op, *args), ctx=ctx)
             except MetadataError:
                 ctx.finish = sim.now
                 record_failure(ctx)
@@ -55,7 +56,7 @@ def run_workload(system, workload, num_clients: Optional[int] = None,
 def run_single_op(system, op: str, *args) -> OpContext:
     """Run one operation and return its context (latency, phases, RPCs)."""
     ctx = OpContext(op)
-    system.sim.run_process(system.submit(op, *args, ctx=ctx))
+    system.sim.run_process(system.perform(make_op(op, *args), ctx=ctx))
     return ctx
 
 

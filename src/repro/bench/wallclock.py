@@ -29,6 +29,17 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim.core import AnyOf, Simulator
 from repro.sim.resources import Resource, Store
+from repro.sim.trace import NULL_TRACER
+
+
+def _untraced_sim() -> Simulator:
+    """A simulator with tracing explicitly off.
+
+    The kernel numbers gate the "zero cost when off" contract of the span
+    tracer, so they must not silently inherit ``MANTLE_TRACE`` from the
+    environment.
+    """
+    return Simulator(tracer=NULL_TRACER)
 
 #: Repository root (src/repro/bench/wallclock.py -> repo root).
 REPO_ROOT = os.path.abspath(
@@ -41,7 +52,7 @@ DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_wallclock.json")
 # ---------------------------------------------------------------------------
 
 def bench_timeout_churn(procs: int = 400, steps: int = 50) -> Tuple[int, float]:
-    sim = Simulator()
+    sim = _untraced_sim()
 
     def worker(i):
         for _ in range(steps):
@@ -56,7 +67,7 @@ def bench_timeout_churn(procs: int = 400, steps: int = 50) -> Tuple[int, float]:
 
 
 def bench_immediate_resume(procs: int = 200, steps: int = 100) -> Tuple[int, float]:
-    sim = Simulator()
+    sim = _untraced_sim()
     done = sim.event()
     done.succeed("ready")
     sim.run()  # process `done` so every yield hits the resume-immediately path
@@ -74,7 +85,7 @@ def bench_immediate_resume(procs: int = 200, steps: int = 100) -> Tuple[int, flo
 
 
 def bench_resource_pingpong(rounds: int = 5000) -> Tuple[int, float]:
-    sim = Simulator()
+    sim = _untraced_sim()
     cpu = Resource(sim, capacity=2)
     store = Store(sim)
 
@@ -98,7 +109,7 @@ def bench_resource_pingpong(rounds: int = 5000) -> Tuple[int, float]:
 
 
 def bench_anyof_fanout(rounds: int = 300, fanout: int = 64) -> Tuple[int, float]:
-    sim = Simulator()
+    sim = _untraced_sim()
 
     def waiter():
         for r in range(rounds):
@@ -129,6 +140,16 @@ SEED_BASELINE_EVENTS_PER_S: Dict[str, float] = {
     "anyof_fanout": 653571.1,
 }
 
+#: events/s after the PR-1 kernel fast paths (commit f469610, same
+#: container).  The span-tracing PR must keep the untraced kernel within
+#: 10% of these — ``--assert-vs-pr1 0.10`` is the CI gate.
+PR1_BASELINE_EVENTS_PER_S: Dict[str, float] = {
+    "timeout_churn": 749547.5,
+    "immediate_resume": 3520764.8,
+    "resource_pingpong": 995616.6,
+    "anyof_fanout": 860920.9,
+}
+
 
 def run_kernel_benches(repeats: int = 3) -> Dict[str, Dict[str, float]]:
     """Run every kernel microbench, keeping the best of ``repeats`` runs."""
@@ -151,18 +172,57 @@ def run_kernel_benches(repeats: int = 3) -> Dict[str, Dict[str, float]]:
         seed = SEED_BASELINE_EVENTS_PER_S.get(name)
         if seed:
             results[name]["speedup_vs_seed"] = round(best_rate / seed, 3)
+        pr1 = PR1_BASELINE_EVENTS_PER_S.get(name)
+        if pr1:
+            results[name]["speedup_vs_pr1"] = round(best_rate / pr1, 3)
     return results
 
 
-def geomean_speedup(kernel: Dict[str, Dict[str, float]]) -> float:
-    ratios = [row["speedup_vs_seed"] for row in kernel.values()
-              if "speedup_vs_seed" in row]
+def _geomean(ratios: List[float]) -> float:
     if not ratios:
         return 0.0
     product = 1.0
     for ratio in ratios:
         product *= ratio
     return product ** (1.0 / len(ratios))
+
+
+def geomean_speedup(kernel: Dict[str, Dict[str, float]],
+                    key: str = "speedup_vs_seed") -> float:
+    return _geomean([row[key] for row in kernel.values() if key in row])
+
+
+# ---------------------------------------------------------------------------
+# Tracing overhead: the same metadata workload traced vs untraced.
+# ---------------------------------------------------------------------------
+
+def measure_tracing_overhead(clients: int = 24,
+                             items: int = 8) -> Dict[str, float]:
+    """Wall-clock cost of span tracing on one mdtest mkdir run on Mantle.
+
+    The kernel microbenches never cross an instrumentation site, so this is
+    the number that actually measures the tracer: the identical workload
+    with the null tracer and with a live :class:`~repro.sim.trace.Tracer`.
+    The simulated results are identical either way (pinned by the
+    determinism tests); only wall-clock and the span count differ.
+    """
+    from repro.experiments.base import mdtest_metrics, mdtest_metrics_traced
+
+    start = time.perf_counter()
+    mdtest_metrics("mantle", "mkdir", clients=clients, items=items)
+    untraced_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    _, tracer = mdtest_metrics_traced("mantle", "mkdir", clients=clients,
+                                      items=items)
+    traced_s = time.perf_counter() - start
+    return {
+        "untraced_s": round(untraced_s, 4),
+        "traced_s": round(traced_s, 4),
+        "overhead_ratio": round(traced_s / untraced_s, 3) if untraced_s
+        else 0.0,
+        "spans": len(tracer.spans),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -199,6 +259,12 @@ def main(argv=None) -> int:
                         help="subset of experiment ids for the suite timing")
     parser.add_argument("--repeats", type=int, default=3,
                         help="microbench repetitions (best-of)")
+    parser.add_argument("--assert-vs-pr1", type=float, default=None,
+                        metavar="FRAC",
+                        help="fail if the untraced kernel geomean drops more "
+                             "than FRAC (e.g. 0.10) below the PR-1 baseline")
+    parser.add_argument("--skip-overhead", action="store_true",
+                        help="skip the traced-vs-untraced workload timing")
     args = parser.parse_args(argv)
 
     report: Dict[str, object] = {
@@ -215,6 +281,28 @@ def main(argv=None) -> int:
         geomean_speedup(report["kernel"]), 3)
     print(f"kernel geomean speedup vs seed: "
           f"{report['kernel_geomean_speedup_vs_seed']:.2f}x")
+    geomean_pr1 = round(
+        geomean_speedup(report["kernel"], key="speedup_vs_pr1"), 3)
+    report["kernel_geomean_speedup_vs_pr1"] = geomean_pr1
+    print(f"kernel geomean speedup vs PR-1: {geomean_pr1:.2f}x")
+
+    failed = False
+    if args.assert_vs_pr1 is not None:
+        floor = 1.0 - args.assert_vs_pr1
+        if geomean_pr1 < floor:
+            print(f"FAIL: kernel geomean {geomean_pr1:.3f}x vs PR-1 is "
+                  f"below the {floor:.2f}x floor "
+                  f"(>{args.assert_vs_pr1:.0%} regression)", file=sys.stderr)
+            failed = True
+        else:
+            print(f"assert-vs-pr1 OK: {geomean_pr1:.3f}x >= {floor:.2f}x")
+
+    if not args.skip_overhead:
+        overhead = measure_tracing_overhead()
+        report["tracing_overhead"] = overhead
+        print(f"tracing overhead      {overhead['overhead_ratio']:.2f}x wall "
+              f"({overhead['untraced_s']:.2f}s -> {overhead['traced_s']:.2f}s,"
+              f" {overhead['spans']} spans)")
 
     if not args.skip_suite:
         suite: Dict[str, object] = {"serial": time_quick_suite(
@@ -231,7 +319,7 @@ def main(argv=None) -> int:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"(wrote {args.output})")
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

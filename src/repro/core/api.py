@@ -4,31 +4,61 @@ Hides the discrete-event simulation behind an ordinary Python API: each call
 spawns the operation as a simulated process and drives the event loop until
 it completes.  This is what the examples and downstream users consume::
 
-    from repro import MantleClient
+    from repro import MantleClient, MantleConfig
 
-    client = MantleClient()
-    client.mkdir("/datasets/audio")
-    client.create("/datasets/audio/seg-000.bin", size=4096)
-    print(client.listdir("/datasets/audio"))
+    with MantleClient(MantleConfig.small()) as client:
+        client.mkdir("/datasets/audio")
+        client.create("/datasets/audio/seg-000.bin", size=4096)
+        print(client.listdir("/datasets/audio"))
+
+Operations dispatch through the typed registry (:mod:`repro.ops`); mutating
+calls return :class:`~repro.types.OpResult` — an ``int`` subclass carrying
+the inode id plus the per-call RPC/latency measurements — and reads return
+:class:`~repro.types.StatResult` or entry lists.  Errors raise the
+:mod:`repro.errors` hierarchy.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import dataclasses
+from typing import Any, Iterable, List, Optional, Tuple
 
 from repro.core.config import MantleConfig
 from repro.core.service import MantleSystem
-from repro.errors import MetadataError
-from repro.paths import normalize as paths_normalize
+from repro.errors import MetadataError, NoSuchPathError
+from repro.ops import (
+    Create,
+    Delete,
+    DirStat,
+    Mkdir,
+    ObjStat,
+    Op,
+    ReadDir,
+    Rename,
+    Rmdir,
+    SetAttr,
+)
+from repro.paths import ancestors, normalize as paths_normalize
 from repro.sim.stats import MetricSet, OpContext
-from repro.types import Permission, StatResult
+from repro.types import OpResult, Permission, StatResult
 
 
 def _small_config() -> MantleConfig:
-    """A laptop-friendly cluster shape for interactive use."""
-    return MantleConfig(num_db_servers=3, num_db_shards=6, num_proxies=2,
-                        index_replicas=3, num_learners=0,
-                        index_cores=8, db_cores=8, proxy_cores=8)
+    """Deprecated alias of :meth:`MantleConfig.small` (kept for importers)."""
+    return MantleConfig.small()
+
+
+@dataclasses.dataclass
+class BatchResult:
+    """Outcome of one operation inside :meth:`MantleClient.batch`."""
+
+    op: Op
+    result: Any = None
+    error: Optional[MetadataError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 class MantleClient:
@@ -37,57 +67,85 @@ class MantleClient:
     Parameters
     ----------
     config:
-        Cluster shape and optimisation toggles; defaults to a small
-        three-replica deployment suitable for examples and tests.
+        Cluster shape and optimisation toggles; defaults to
+        :meth:`MantleConfig.small`, a three-replica deployment suitable for
+        examples and tests (:meth:`MantleConfig.paper_scale` builds the
+        Table 2 shape).
+
+    The client is a context manager: ``with MantleClient() as c: ...`` shuts
+    the simulated cluster down on exit.
     """
 
     def __init__(self, config: Optional[MantleConfig] = None):
-        self.system = MantleSystem(config or _small_config())
+        self.system = MantleSystem(config or MantleConfig.small())
         self.system.startup()
         self.metrics = MetricSet()
         self.metrics.started_at = self.system.sim.now
 
     # -- internal --------------------------------------------------------------
 
-    def _run(self, op: str, *args):
-        ctx = OpContext(op)
+    def _run_ctx(self, op: Op) -> Tuple[Any, OpContext]:
+        """Drive one typed op to completion; returns (result, context)."""
+        ctx = OpContext(op.name)
         try:
             result = self.system.sim.run_process(
-                self.system.submit(op, *args, ctx=ctx), name=op)
+                self.system.perform(op, ctx=ctx), name=op.name)
         except MetadataError:
             self.metrics.record_failure(ctx)
             raise
         self.metrics.record(ctx)
         self.metrics.finished_at = self.system.sim.now
-        return result
+        return result, ctx
+
+    def _run(self, op: Op) -> Any:
+        return self._run_ctx(op)[0]
+
+    def _run_mutation(self, op: Op) -> OpResult:
+        result, ctx = self._run_ctx(op)
+        return OpResult(result, rpcs=ctx.rpcs, retries=ctx.retries,
+                        latency_us=ctx.latency)
 
     # -- namespace operations ------------------------------------------------------
 
-    def mkdir(self, path: str, parents: bool = False) -> int:
-        """Create a directory; with ``parents=True`` create missing ancestors."""
+    def mkdir(self, path: str, parents: bool = False) -> OpResult:
+        """Create a directory; with ``parents=True`` create missing ancestors.
+
+        The ancestor resolution walks *up* from the deepest ancestor until
+        an existing directory is found (one ``dirstat`` drive per probed
+        level), then creates the missing chain downwards — instead of one
+        ``exists()`` probe (up to two sim drives) per level from the root.
+        """
         if parents:
-            from repro.paths import ancestors, normalize
-            for ancestor in ancestors(normalize(path))[1:]:
-                if not self.exists(ancestor):
-                    self._run("mkdir", ancestor)
-        return self._run("mkdir", path)
+            chain = ancestors(paths_normalize(path))[1:]  # strict, sans root
+            missing: List[str] = []
+            for ancestor in reversed(chain):
+                try:
+                    self.dirstat(ancestor)
+                    break
+                except NoSuchPathError:
+                    missing.append(ancestor)
+                except MetadataError:
+                    break  # exists but is not a plain dir; let mkdir surface it
+            for ancestor in reversed(missing):
+                self._run_mutation(Mkdir(ancestor))
+        return self._run_mutation(Mkdir(path))
 
-    def rmdir(self, path: str) -> int:
-        return self._run("rmdir", path)
+    def rmdir(self, path: str) -> OpResult:
+        return self._run_mutation(Rmdir(path))
 
-    def create(self, path: str, size: int = 0) -> int:
+    def create(self, path: str, size: int = 0) -> OpResult:
         """Create an object (PUT without data body in this model)."""
         del size  # size is recorded via bulk loaders; kept for API symmetry
-        return self._run("create", path)
+        return self._run_mutation(Create(path))
 
-    def delete(self, path: str) -> int:
-        return self._run("delete", path)
+    def delete(self, path: str) -> OpResult:
+        return self._run_mutation(Delete(path))
 
     def objstat(self, path: str) -> StatResult:
-        return self._run("objstat", path)
+        return self._run(ObjStat(path))
 
     def dirstat(self, path: str) -> StatResult:
-        return self._run("dirstat", path)
+        return self._run(DirStat(path))
 
     def stat(self, path: str) -> StatResult:
         """stat either kind: try the object path first, then directory."""
@@ -97,7 +155,7 @@ class MantleClient:
             return self.dirstat(path)
 
     def listdir(self, path: str) -> List[str]:
-        return self._run("readdir", path)
+        return self._run(ReadDir(path))
 
     def listdir_page(self, path: str, limit: int,
                      start_after: Optional[str] = None) -> List[str]:
@@ -132,12 +190,12 @@ class MantleClient:
                     break
                 start_after = page[-1]
 
-    def rename(self, src: str, dst: str) -> int:
+    def rename(self, src: str, dst: str) -> OpResult:
         """Atomic cross-directory rename with loop detection."""
-        return self._run("dirrename", src, dst)
+        return self._run_mutation(Rename(src, dst))
 
     def setattr(self, path: str, permission: Permission) -> StatResult:
-        return self._run("setattr", path, permission)
+        return self._run(SetAttr(path, permission))
 
     def exists(self, path: str) -> bool:
         try:
@@ -146,11 +204,55 @@ class MantleClient:
         except MetadataError:
             return False
 
+    # -- batching --------------------------------------------------------------
+
+    def batch(self, ops: Iterable[Op]) -> List[BatchResult]:
+        """Run several typed operations concurrently in one sim drive.
+
+        All operations are spawned as simulated processes before the event
+        loop runs, so they overlap exactly like concurrent clients would —
+        one ``batch`` call costs one drive of the simulator instead of one
+        per operation.  Per-op failures land in ``BatchResult.error`` rather
+        than raising, so one conflict cannot abort its siblings.
+        """
+        items = [BatchResult(op) for op in ops]
+        sim = self.system.sim
+
+        def run_one(item: BatchResult):
+            ctx = OpContext(item.op.name)
+            try:
+                item.result = yield from self.system.perform(item.op, ctx=ctx)
+            except MetadataError as exc:
+                ctx.finish = sim.now
+                item.error = exc
+                self.metrics.record_failure(ctx)
+                return
+            if isinstance(item.result, int) and \
+                    not isinstance(item.result, bool):
+                item.result = OpResult(item.result, rpcs=ctx.rpcs,
+                                       retries=ctx.retries,
+                                       latency_us=ctx.latency)
+            self.metrics.record(ctx)
+
+        if items:
+            done = sim.all_of([
+                sim.process(run_one(item), name=f"batch-{item.op.name}")
+                for item in items
+            ])
+            sim.run_until(done)
+            self.metrics.finished_at = sim.now
+        return items
+
     # -- observability --------------------------------------------------------------
 
     @property
     def simulated_time_us(self) -> float:
         return self.system.sim.now
+
+    @property
+    def tracer(self):
+        """The simulator's span tracer (the no-op singleton when off)."""
+        return self.system.sim.tracer
 
     def cache_stats(self) -> dict:
         """TopDirPathCache statistics of the current leader replica."""

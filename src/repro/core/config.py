@@ -78,6 +78,13 @@ class MantleConfig:
     max_txn_retries: int = 64
     max_rename_retries: int = 64
 
+    # --- observability ------------------------------------------------------
+    #: Attach a live span tracer (:mod:`repro.sim.trace`) to this
+    #: deployment's simulator.  Purely observational: the tracer never
+    #: creates simulator events, so simulated results are identical with it
+    #: on or off.  ``MANTLE_TRACE=1`` enables tracing process-wide instead.
+    tracing: bool = False
+
     # --- costs -------------------------------------------------------------
     costs: CostModel = dataclasses.field(default_factory=CostModel)
 
@@ -98,6 +105,22 @@ class MantleConfig:
             enable_delta_records=False,
             enable_raft_batching=False,
         )
+
+    @classmethod
+    def small(cls, **overrides) -> "MantleConfig":
+        """A laptop-friendly cluster shape for interactive use and tests.
+
+        Three DB servers with six shards, two proxies and a three-replica
+        IndexNode group — the default behind ``MantleClient()``.
+        """
+        return cls(num_db_servers=3, num_db_shards=6, num_proxies=2,
+                   index_replicas=3, num_learners=0,
+                   index_cores=8, db_cores=8, proxy_cores=8).copy(**overrides)
+
+    @classmethod
+    def paper_scale(cls, **overrides) -> "MantleConfig":
+        """The paper's Table 2 deployment shape (the dataclass defaults)."""
+        return cls().copy(**overrides)
 
     def validate(self) -> None:
         if self.path_cache_k < 0:

@@ -56,6 +56,9 @@ class MantleSystem(MetadataSystem):
         self.config.validate()
         costs = self.config.costs
         sim = sim or Simulator()
+        if self.config.tracing and not sim.tracer.enabled:
+            from repro.sim.trace import Tracer
+            sim.tracer = Tracer()
         network = network or Network(sim, one_way_us=costs.net_one_way_us)
         super().__init__(sim, network)
         self.costs = costs

@@ -5,6 +5,31 @@ The paper's proxy layer surfaces a small set of error conditions to clients
 and transaction aborts).  All four systems — Mantle and the three baselines —
 raise the same exception types so workloads and benchmarks can treat them
 uniformly.
+
+The full hierarchy (every class derives from :class:`MetadataError`, so
+``except MetadataError`` catches anything a metadata operation can raise)::
+
+    MetadataError                  base class; catch-all for client code
+    ├── NoSuchPathError            ENOENT: a path component is missing
+    ├── AlreadyExistsError         EEXIST: target name already taken
+    ├── NotADirectoryError         ENOTDIR: non-final component is an object
+    ├── IsADirectoryError          EISDIR: object op aimed at a directory
+    ├── NotEmptyError              ENOTEMPTY: rmdir of a non-empty directory
+    ├── PermissionDeniedError      EACCES: aggregated path permission failed
+    ├── InvalidPathError           malformed path string (client-side)
+    ├── RenameLoopError            dirrename would create a namespace cycle
+    ├── RenameLockConflict         loop detection hit another rename's lock
+    ├── TransactionAbort           TafDB optimistic-concurrency conflict
+    ├── ServiceUnavailableError    no Raft leader / server crashed; retryable
+    └── StaleReadError             replica applyIndex too old for the read
+
+Retry semantics: ``TransactionAbort``, ``RenameLockConflict``,
+``ServiceUnavailableError`` and ``StaleReadError`` are *transient* — proxies
+retry them internally with backoff, and :class:`~repro.sim.stats.OpContext`
+counts each retry.  The rest describe the namespace state and surface
+directly to the caller; :class:`~repro.core.api.MantleClient` lets them
+propagate (per-op in :meth:`~repro.core.api.MantleClient.batch`, where they
+land in ``BatchResult.error`` instead of raising).
 """
 
 

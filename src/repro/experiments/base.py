@@ -111,6 +111,31 @@ def mdtest_metrics(system_name: str, op: str, mode: str = "exclusive",
         system.shutdown()
 
 
+def mdtest_metrics_traced(system_name: str, op: str, mode: str = "exclusive",
+                          clients: int = 32, items: int = 10, depth: int = 10,
+                          cluster_scale: Optional[str] = None,
+                          **build_overrides):
+    """Like :func:`mdtest_metrics`, but with span tracing on.
+
+    Attaches a fresh :class:`~repro.sim.trace.Tracer` to the system's
+    simulator before the workload runs and returns ``(metrics, tracer)``.
+    The tracer never creates simulator events, so the metrics are identical
+    to an untraced run — the fig15/table1 span-derived tables rely on that.
+    """
+    from repro.sim.trace import Tracer
+
+    system = build_system(system_name, cluster_scale or "quick",
+                          **build_overrides)
+    tracer = Tracer()
+    system.sim.tracer = tracer
+    try:
+        workload = MdtestWorkload(op, mode=mode, depth=depth, items=items,
+                                  num_clients=clients)
+        return run_workload(system, workload), tracer
+    finally:
+        system.shutdown()
+
+
 def app_metrics(system_name: str, workload, data_access: bool = False,
                 cluster_scale: str = "quick",
                 **build_overrides) -> MetricSet:

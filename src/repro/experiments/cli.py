@@ -5,11 +5,16 @@ Usage::
     mantle-exp list
     mantle-exp run fig12 [--scale quick|full] [--jobs N]
     mantle-exp all [--scale quick|full] [--jobs N]
+    mantle-exp trace fig15 [--scale quick|full] [--out trace_fig15.json]
 
 ``run --jobs N`` fans a sweep experiment's per-point simulators across N
 worker processes; ``all --jobs N`` runs whole experiments concurrently.
 Either way the simulated results are identical to a serial run — only
 wall-clock changes — and output is printed in deterministic registry order.
+
+``trace`` reruns fig15/table1 with span tracing on, writes a Chrome-trace /
+Perfetto JSON, prints the span-tree breakdown, and cross-checks the
+span-derived tables against the legacy counters (must agree within 1%).
 """
 
 from __future__ import annotations
@@ -84,6 +89,19 @@ def _cmd_all(args) -> int:
     return 0 if all(o.ok for o in outcomes) else 1
 
 
+def _cmd_trace(args) -> int:
+    from repro.experiments.tracecmd import run_trace
+
+    started = time.time()
+    tables, payload = run_trace(args.experiment, scale=args.scale,
+                                out_path=args.out)
+    header = (f"### trace {args.experiment} (scale={args.scale}, "
+              f"{len(payload['traceEvents'])} events, "
+              f"{time.time() - started:.1f}s wall)")
+    print_tables(tables, header=header)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="mantle-exp",
@@ -103,8 +121,17 @@ def main(argv=None) -> int:
                             default="quick")
     all_parser.add_argument("--jobs", type=int, default=1, metavar="N",
                             help="run N experiments concurrently")
+    trace_parser = sub.add_parser(
+        "trace", help="run an experiment traced; export Perfetto JSON")
+    trace_parser.add_argument("experiment", choices=("fig15", "table1"))
+    trace_parser.add_argument("--scale", choices=("quick", "full"),
+                              default="quick")
+    trace_parser.add_argument("--out", metavar="PATH", default="",
+                              help="Chrome-trace output path "
+                                   "(default trace_<experiment>.json)")
     args = parser.parse_args(argv)
-    handlers = {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all}
+    handlers = {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
+                "trace": _cmd_trace}
     return handlers[args.command](args)
 
 

@@ -4,43 +4,73 @@ Paper: Tectonic slightly better execution / InfiniFS slightly better lookup
 in mkdir-e; loop detection appears only for dirrename and only in
 InfiniFS/LocoFS/Mantle (relaxed Tectonic skips it); Mantle records zero
 lookup time in dirrename because resolution is merged with loop detection.
+
+Since PR 2 the numbers are derived from the span tracer
+(:mod:`repro.sim.trace`) rather than the ``OpContext`` phase counters: each
+case runs traced, and the table aggregates ``phase``-category spans under
+each successful operation's root span.  The legacy counters still exist (the
+phase API is a shim over spans) and ``mantle-exp trace fig15`` cross-checks
+both derivations agree within 1%.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.bench.cluster import SYSTEMS
 from repro.bench.report import Table
-from repro.experiments.base import mdtest_metrics, pick, register
+from repro.experiments.base import mdtest_metrics_traced, pick, register
 from repro.sim.stats import PHASE_EXECUTION, PHASE_LOOKUP, PHASE_LOOP_DETECT
+from repro.sim.trace import aggregate_ops
 
 CASES = (("mkdir", "exclusive"), ("mkdir", "shared"),
          ("dirrename", "exclusive"), ("dirrename", "shared"))
+
+
+def run_traced(scale: str = "quick") -> Tuple[List[Table], List[Dict]]:
+    """Run every case traced; returns (tables, per-case artifacts).
+
+    Each artifact dict carries the case label, the op, the
+    :class:`~repro.sim.stats.MetricSet` and the live tracer, so
+    ``mantle-exp trace fig15`` can export the spans and cross-validate the
+    two derivations without re-running anything.
+    """
+    clients = pick(scale, 48, 128)
+    items = pick(scale, 8, 20)
+    table = Table(
+        "Figure 15: mean per-phase latency (us, span-derived)",
+        ["case", "system", "lookup", "loop detect", "execution", "total"])
+    artifacts: List[Dict] = []
+    for op, mode in CASES:
+        suffix = "-s" if mode == "shared" else "-e"
+        for system_name in SYSTEMS:
+            metrics, tracer = mdtest_metrics_traced(
+                system_name, op, mode=mode, clients=clients, items=items)
+            agg = aggregate_ops(tracer.spans).get(op)
+            if agg is None or not agg.count:
+                raise RuntimeError(
+                    f"no successful {op!r} spans for {system_name}")
+            table.add_row(
+                f"{op}{suffix}", system_name,
+                round(agg.mean_phase_us(PHASE_LOOKUP), 1),
+                round(agg.mean_phase_us(PHASE_LOOP_DETECT), 1),
+                round(agg.mean_phase_us(PHASE_EXECUTION), 1),
+                round(agg.mean_latency_us, 1))
+            artifacts.append({
+                "label": f"{op}{suffix}/{system_name}",
+                "op": op,
+                "metrics": metrics,
+                "tracer": tracer,
+            })
+    table.add_note("Mantle dirrename: lookup column is 0 by construction "
+                   "(merged with loop detection); Tectonic has no loop "
+                   "detection (relaxed consistency)")
+    return [table], artifacts
 
 
 @register("fig15", "Latency breakdown of directory modifications",
           "loop detection only for renames (not Tectonic); Mantle merges "
           "rename lookup into loop detection")
 def run(scale: str = "quick") -> List[Table]:
-    clients = pick(scale, 48, 128)
-    items = pick(scale, 8, 20)
-    table = Table(
-        "Figure 15: mean per-phase latency (us)",
-        ["case", "system", "lookup", "loop detect", "execution", "total"])
-    for op, mode in CASES:
-        suffix = "-s" if mode == "shared" else "-e"
-        for system_name in SYSTEMS:
-            metrics = mdtest_metrics(system_name, op, mode=mode,
-                                     clients=clients, items=items)
-            phases = metrics.phase_breakdown(op)
-            table.add_row(
-                f"{op}{suffix}", system_name,
-                round(phases[PHASE_LOOKUP], 1),
-                round(phases[PHASE_LOOP_DETECT], 1),
-                round(phases[PHASE_EXECUTION], 1),
-                round(metrics.mean_latency_us(op), 1))
-    table.add_note("Mantle dirrename: lookup column is 0 by construction "
-                   "(merged with loop detection); Tectonic has no loop "
-                   "detection (relaxed consistency)")
-    return [table]
+    tables, _artifacts = run_traced(scale)
+    return tables

@@ -4,15 +4,23 @@ Paper: DBtable/metadata caching approaches need ``pathlen`` RTTs, parallel
 resolving between 1 and ``pathlen`` (7.4 in practice at 512 threads for a
 10-level path), tiering and Mantle a single RTT.  We *measure* the RPC
 rounds a depth-10 objstat lookup actually performs in each system.
+
+Since PR 2 the measurement comes from the span tracer: each run is traced
+and the table reads mean RPCs (``rpc``-category spans under each op root)
+and the lookup-phase latency share from :func:`repro.sim.trace.aggregate_ops`
+instead of the ``OpContext`` counters — ``mantle-exp trace table1``
+cross-checks the two derivations agree within 1%.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.bench.cluster import SYSTEMS
 from repro.bench.report import Table
-from repro.experiments.base import mdtest_metrics, pick, register
+from repro.experiments.base import mdtest_metrics_traced, pick, register
+from repro.sim.stats import PHASE_LOOKUP
+from repro.sim.trace import aggregate_ops
 
 #: The paper's analytic RTT count for a depth-`n` lookup.
 ANALYTIC = {
@@ -23,27 +31,43 @@ ANALYTIC = {
 }
 
 
-@register("table1", "RTT rounds per lookup",
-          "pathlen RTTs for DBtable, single RTT for tiering and Mantle")
-def run(scale: str = "quick") -> List[Table]:
+def run_traced(scale: str = "quick") -> Tuple[List[Table], List[Dict]]:
+    """Run every system traced; returns (tables, per-system artifacts)."""
     clients = pick(scale, 32, 96)
     items = pick(scale, 10, 24)
     depth = 10
     table = Table(
-        "Table 1: measured RPC rounds for a depth-10 objstat",
+        "Table 1: measured RPC rounds for a depth-10 objstat (span-derived)",
         ["system", "mean RPCs (whole op)", "lookup-phase share of latency",
          "paper analytic"])
+    artifacts: List[Dict] = []
     for system_name in SYSTEMS:
-        metrics = mdtest_metrics(system_name, "objstat", depth=depth,
-                                 clients=clients, items=items)
-        lookup = metrics.phase_breakdown("objstat")["lookup"]
-        total = metrics.mean_latency_us("objstat")
+        metrics, tracer = mdtest_metrics_traced(
+            system_name, "objstat", depth=depth, clients=clients, items=items)
+        agg = aggregate_ops(tracer.spans).get("objstat")
+        if agg is None or not agg.count:
+            raise RuntimeError(f"no successful objstat spans for {system_name}")
+        lookup = agg.mean_phase_us(PHASE_LOOKUP)
+        total = agg.mean_latency_us
         table.add_row(
             system_name,
-            round(metrics.mean_rpcs("objstat"), 1),
+            round(agg.mean_rpcs, 1),
             round(lookup / total, 2) if total else 0,
             ANALYTIC[system_name])
+        artifacts.append({
+            "label": f"objstat/{system_name}",
+            "op": "objstat",
+            "metrics": metrics,
+            "tracer": tracer,
+        })
     table.add_note("InfiniFS issues its per-level reads in ONE parallel "
                    "round, so rounds != RPC count; Mantle/LocoFS pay one "
                    "resolution RPC plus the execution-phase DB read")
-    return [table]
+    return [table], artifacts
+
+
+@register("table1", "RTT rounds per lookup",
+          "pathlen RTTs for DBtable, single RTT for tiering and Mantle")
+def run(scale: str = "quick") -> List[Table]:
+    tables, _artifacts = run_traced(scale)
+    return tables

@@ -1,0 +1,130 @@
+"""``mantle-exp trace`` — run an experiment traced and export the spans.
+
+Runs the span-instrumented variant of an experiment (fig15 or table1), then
+
+* writes one Chrome-trace / Perfetto JSON file with a ``pid`` track per
+  case/system (open it at https://ui.perfetto.dev or ``chrome://tracing``),
+* prints the experiment's span-derived tables plus a per-case span-tree
+  breakdown (span counts and summed time per category), and
+* cross-validates the span-derived numbers against the legacy
+  ``OpContext``/:class:`~repro.sim.stats.MetricSet` counters — the two
+  derivations must agree within 1% (they are bit-identical in practice,
+  because the phase API is a shim over spans).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.report import Table
+from repro.sim.trace import (
+    aggregate_ops,
+    category_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+#: Experiments with a traced variant; values are ``run_traced`` callables
+#: returning ``(tables, artifacts)``.
+TRACEABLE = ("fig15", "table1")
+
+#: Maximum relative disagreement tolerated between span-derived and
+#: metric-derived values (the acceptance bound; observed error is 0).
+AGREEMENT_TOLERANCE = 0.01
+
+
+def _run_traced(experiment: str, scale: str) -> Tuple[List[Table], List[Dict]]:
+    if experiment == "fig15":
+        from repro.experiments.fig15_dirmod_breakdown import run_traced
+    elif experiment == "table1":
+        from repro.experiments.table1_rtts import run_traced
+    else:
+        raise ValueError(
+            f"no traced variant for {experiment!r}; choose from {TRACEABLE}")
+    return run_traced(scale)
+
+
+def breakdown_table(artifacts: List[Dict]) -> Table:
+    """Per-case span-tree summary: counts and summed time per category."""
+    table = Table(
+        "Span-tree breakdown per case",
+        ["case", "spans", "dropped", "category", "count", "total us"])
+    for artifact in artifacts:
+        tracer = artifact["tracer"]
+        summary = category_summary(tracer.spans)
+        first = True
+        for category in sorted(summary):
+            count, total_us = summary[category]
+            table.add_row(
+                artifact["label"] if first else "",
+                len(tracer.spans) if first else "",
+                tracer.dropped if first else "",
+                category, count, round(total_us, 1))
+            first = False
+    return table
+
+
+def agreement_table(artifacts: List[Dict]) -> Tuple[Table, float]:
+    """Cross-validate span-derived vs MetricSet-derived numbers.
+
+    Returns the comparison table and the worst relative error observed over
+    mean latency, mean RPC count and every per-phase mean.
+    """
+    table = Table(
+        "Span-derived vs metric-derived agreement",
+        ["case", "quantity", "spans", "metrics", "rel err"])
+    worst = 0.0
+
+    def compare(label: str, quantity: str, from_spans: float,
+                from_metrics: float) -> None:
+        nonlocal worst
+        denom = max(abs(from_metrics), 1e-9)
+        err = abs(from_spans - from_metrics) / denom
+        worst = max(worst, err)
+        table.add_row(label, quantity, round(from_spans, 3),
+                      round(from_metrics, 3), f"{err:.2%}")
+
+    for artifact in artifacts:
+        label, op = artifact["label"], artifact["op"]
+        metrics = artifact["metrics"]
+        agg = aggregate_ops(artifact["tracer"].spans).get(op)
+        if agg is None:
+            raise RuntimeError(f"no {op!r} spans for case {label}")
+        compare(label, "mean latency us", agg.mean_latency_us,
+                metrics.mean_latency_us(op))
+        compare(label, "mean rpcs", agg.mean_rpcs, metrics.mean_rpcs(op))
+        for phase, value in metrics.phase_breakdown(op).items():
+            compare(label, f"phase {phase} us",
+                    agg.mean_phase_us(phase), value)
+    return table, worst
+
+
+def run_trace(experiment: str, scale: str = "quick",
+              out_path: str = "") -> Tuple[List[Table], dict]:
+    """Run ``experiment`` traced; returns (all tables, chrome payload).
+
+    Raises ``RuntimeError`` if the exported JSON fails schema validation or
+    the span/metric cross-check exceeds :data:`AGREEMENT_TOLERANCE`.
+    """
+    out_path = out_path or f"trace_{experiment}.json"
+    tables, artifacts = _run_traced(experiment, scale)
+    sections = [(a["label"], a["tracer"].spans) for a in artifacts]
+    payload = write_chrome_trace(out_path, sections)
+    problems = validate_chrome_trace(payload)
+    if problems:
+        raise RuntimeError(
+            "exported Chrome trace failed schema validation: "
+            + "; ".join(problems[:5]))
+    agreement, worst = agreement_table(artifacts)
+    agreement.add_note(
+        f"worst relative error {worst:.2%} "
+        f"(tolerance {AGREEMENT_TOLERANCE:.0%})")
+    if worst > AGREEMENT_TOLERANCE:
+        raise RuntimeError(
+            f"span-derived numbers diverge from metrics by {worst:.2%} "
+            f"(> {AGREEMENT_TOLERANCE:.0%})")
+    summary = breakdown_table(artifacts)
+    summary.add_note(f"Chrome trace written to {out_path} "
+                     f"({len(payload['traceEvents'])} events); open with "
+                     "https://ui.perfetto.dev")
+    return tables + [summary, agreement], payload

@@ -66,8 +66,18 @@ class IndexNodeService(Server):
                     continue
                 removed = self.state.invalidator.purge_pending()
                 if removed:
+                    tracer = self.sim.tracer
+                    if tracer.enabled:
+                        span = tracer.begin("index.purge", self.sim.now,
+                                            category="maintenance",
+                                            host=self.host.name)
+                        span.annotate(removed=removed)
+                    else:
+                        span = None
                     # Range-scan + hash removals are cheap per entry.
                     yield from self.host.work(0.5 * removed)
+                    if span is not None:
+                        tracer.end(span, self.sim.now)
         except Interrupt:
             return
 
@@ -86,6 +96,12 @@ class IndexNodeService(Server):
 
     def rpc_lookup(self, path: str, want: str = "parent"):
         """Single-RPC path resolution; serves on leader or replica."""
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            span = tracer.begin("index.lookup", self.sim.now,
+                                category="index", host=self.host.name)
+        else:
+            span = None
         yield from self.host.work(self.costs.index_rpc_overhead_us)
         if not self.node.is_leader:
             # §5.1.3: commitIndex barrier keeps replica reads consistent.
@@ -93,6 +109,13 @@ class IndexNodeService(Server):
         outcome = self.state.lookup(path, want)
         yield from self._charge_lookup(outcome)
         self.lookups_served += 1
+        if span is not None:
+            span.annotate(cache_hit=outcome.cache_hit,
+                          bypassed_cache=outcome.bypassed_cache,
+                          index_probes=outcome.index_probes,
+                          cache_probes=outcome.cache_probes,
+                          depth=outcome.depth)
+            tracer.end(span, self.sim.now)
         return outcome
 
     # -- rename coordination (Figure 9, §5.2.2) ------------------------------------------

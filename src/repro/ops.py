@@ -1,0 +1,150 @@
+"""Typed metadata operations — the registry behind ``perform()``.
+
+Historically every operation travelled through the stringly-typed
+``MetadataSystem.submit(op, *args)`` entry point.  The typed surface keeps
+the same nine mdtest operations (§6.3) but represents each as a small frozen
+dataclass, so call sites get named fields, ``isinstance`` dispatch and IDE
+help instead of positional-tuple conventions::
+
+    from repro.ops import Mkdir, Rename
+
+    yield from system.perform(Mkdir("/a/b"), ctx=ctx)
+    yield from system.perform(Rename("/a/b", "/c/b"), ctx=ctx)
+
+``submit`` remains as a deprecation shim that builds the typed op via
+:func:`make_op` and forwards to ``perform``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, ClassVar, Dict, Tuple, Type
+
+from repro.types import Permission
+
+
+@dataclasses.dataclass(frozen=True)
+class Op:
+    """Base class for one metadata operation request.
+
+    ``name`` is the registry key (and the ``op_<name>`` handler suffix);
+    :meth:`handler_args` yields the positional arguments the handler takes,
+    in field-declaration order.
+    """
+
+    name: ClassVar[str] = ""
+
+    def handler_args(self) -> Tuple[Any, ...]:
+        return tuple(getattr(self, field.name)
+                     for field in dataclasses.fields(self))
+
+
+#: Operation name -> dataclass, in the canonical mdtest order.
+OP_TYPES: Dict[str, Type[Op]] = {}
+
+
+def _register(cls: Type[Op]) -> Type[Op]:
+    if not cls.name or cls.name in OP_TYPES:
+        raise ValueError(f"bad or duplicate op registration: {cls!r}")
+    OP_TYPES[cls.name] = cls
+    return cls
+
+
+@_register
+@dataclasses.dataclass(frozen=True)
+class Create(Op):
+    """Create an object (PUT without a data body in this model)."""
+
+    path: str
+    name: ClassVar[str] = "create"
+
+
+@_register
+@dataclasses.dataclass(frozen=True)
+class Delete(Op):
+    """Delete an object."""
+
+    path: str
+    name: ClassVar[str] = "delete"
+
+
+@_register
+@dataclasses.dataclass(frozen=True)
+class ObjStat(Op):
+    """Stat an object; resolves the full path."""
+
+    path: str
+    name: ClassVar[str] = "objstat"
+
+
+@_register
+@dataclasses.dataclass(frozen=True)
+class DirStat(Op):
+    """Stat a directory, folding pending attribute deltas (§5.2.1)."""
+
+    path: str
+    name: ClassVar[str] = "dirstat"
+
+
+@_register
+@dataclasses.dataclass(frozen=True)
+class ReadDir(Op):
+    """List a directory's entries."""
+
+    path: str
+    name: ClassVar[str] = "readdir"
+
+
+@_register
+@dataclasses.dataclass(frozen=True)
+class Mkdir(Op):
+    """Create one directory (parent must already exist)."""
+
+    path: str
+    name: ClassVar[str] = "mkdir"
+
+
+@_register
+@dataclasses.dataclass(frozen=True)
+class Rmdir(Op):
+    """Remove an empty directory."""
+
+    path: str
+    name: ClassVar[str] = "rmdir"
+
+
+@_register
+@dataclasses.dataclass(frozen=True)
+class Rename(Op):
+    """Atomic cross-directory rename with loop detection (§5.2.2)."""
+
+    src: str
+    dst: str
+    name: ClassVar[str] = "dirrename"
+
+
+@_register
+@dataclasses.dataclass(frozen=True)
+class SetAttr(Op):
+    """Update an entry's permission mask."""
+
+    path: str
+    permission: Permission = Permission.ALL
+    name: ClassVar[str] = "setattr"
+
+
+#: Canonical operation-name tuple (kept identical to the legacy
+#: ``repro.baselines.base.OPS`` constant, which now aliases this).
+OP_NAMES: Tuple[str, ...] = tuple(OP_TYPES)
+
+
+def make_op(name: str, *args) -> Op:
+    """Build the typed op for a legacy ``(name, *args)`` call.
+
+    Raises ``ValueError`` for unknown operation names — the same contract
+    the stringly ``submit`` entry point always had.
+    """
+    op_type = OP_TYPES.get(name)
+    if op_type is None:
+        raise ValueError(f"unknown operation {name!r}")
+    return op_type(*args)

@@ -68,9 +68,19 @@ class RaftGroup:
                          name=f"raft-msg-{from_id}-{to_id}")
 
     def _deliver(self, to_id: int, message):
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            span = tracer.begin("raft.msg:" + type(message).__name__,
+                                self.sim.now, category="raft")
+        else:
+            span = None
         yield from self.network.transit()
         target = self.nodes.get(to_id)
-        if target is None or target._stopped or target.host.crashed:
+        dropped = target is None or target._stopped or target.host.crashed
+        if span is not None:
+            span.annotate(to=to_id, dropped=dropped)
+            tracer.end(span, self.sim.now, ok=not dropped)
+        if dropped:
             return  # dropped on the floor, like a real network
         target.mailbox.put(message)
 

@@ -289,6 +289,19 @@ class RaftNode:
     def _handle(self, message):
         if isinstance(message, _Poke):
             return
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            span = tracer.begin("raft." + type(message).__name__,
+                                self.sim.now, category="raft",
+                                host=self.host.name)
+            try:
+                yield from self._handle_traced(message)
+            finally:
+                tracer.end(span, self.sim.now)
+            return
+        yield from self._handle_traced(message)
+
+    def _handle_traced(self, message):
         yield from self.host.work(self.group.costs.raft_msg_us)
         if isinstance(message, RequestVote):
             yield from self._on_request_vote(message)
@@ -387,7 +400,15 @@ class RaftNode:
             self._waiters[entry.index] = waiter
         self.batches_flushed += 1
         self.entries_flushed += len(batch)
-        yield from self.host.fsync()
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            span = tracer.begin("raft.flush", self.sim.now, category="raft",
+                                host=self.host.name)
+            span.annotate(entries=len(batch))
+            yield from self.host.fsync()
+            tracer.end(span, self.sim.now)
+        else:
+            yield from self.host.fsync()
         if not self._pending:
             self._flush_deadline = None
         elif self.config.batching_enabled:
@@ -445,6 +466,13 @@ class RaftNode:
     def _apply_committed(self):
         """Apply every committed-but-unapplied entry to the state machine."""
         applied_any = False
+        tracer = self.sim.tracer
+        if tracer.enabled and self.last_applied < self.commit_index:
+            span = tracer.begin("raft.apply", self.sim.now, category="raft",
+                                host=self.host.name)
+            span.annotate(entries=self.commit_index - self.last_applied)
+        else:
+            span = None
         while self.last_applied < self.commit_index:
             entry = self.log.entry(self.last_applied + 1)
             yield from self.host.work(self.group.costs.raft_apply_us)
@@ -458,6 +486,8 @@ class RaftNode:
             waiter = self._waiters.pop(entry.index, None)
             if waiter is not None and not waiter.triggered:
                 waiter.succeed(result)
+        if span is not None:
+            tracer.end(span, self.sim.now)
         if applied_any:
             signal = self._apply_signal
             self._apply_signal = self.sim.event()

@@ -35,6 +35,8 @@ from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from heapq import heappush as _heappush
 
+import repro.sim.trace as trace_module
+
 _PENDING = object()
 
 
@@ -42,6 +44,12 @@ def _fast_paths_default() -> bool:
     """Fast paths are on unless ``MANTLE_SIM_FAST`` disables them."""
     return os.environ.get("MANTLE_SIM_FAST", "1").lower() not in (
         "0", "false", "off", "no")
+
+
+def _tracing_default() -> bool:
+    """Span tracing is off unless ``MANTLE_TRACE`` enables it."""
+    return os.environ.get("MANTLE_TRACE", "0").lower() in (
+        "1", "true", "on", "yes")
 
 
 class SimulationError(RuntimeError):
@@ -383,7 +391,7 @@ class Simulator:
     either way, only wall-clock differs.
     """
 
-    def __init__(self, fast_paths: Optional[bool] = None):
+    def __init__(self, fast_paths: Optional[bool] = None, tracer=None):
         if fast_paths is None:
             fast_paths = _fast_paths_default()
         self._fast = bool(fast_paths)
@@ -392,6 +400,16 @@ class Simulator:
         self._micro: collections.deque = collections.deque()
         self._seq = 0
         self._active_process: Optional[Process] = None
+        if tracer is None:
+            tracer = (trace_module.Tracer() if _tracing_default()
+                      else trace_module.NULL_TRACER)
+        #: Span collector consulted by instrumented layers; the default is
+        #: the shared no-op singleton, so untraced runs pay only an
+        #: ``enabled`` check per instrumentation site.  Assign a
+        #: :class:`repro.sim.trace.Tracer` to turn tracing on; the tracer
+        #: never creates simulator events, so simulated results are
+        #: identical either way.
+        self.tracer = tracer
 
     @property
     def now(self) -> float:

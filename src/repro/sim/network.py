@@ -50,17 +50,34 @@ class Network:
         """Request/response round trip to ``server``.
 
         Counts one RPC round on the network and on ``ctx`` when provided —
-        the counter behind the Table 1 RTT comparison.
+        the counter behind the Table 1 RTT comparison.  Under an enabled
+        tracer each round trip opens an ``rpc``-category span (parented to
+        the operation's root span when ``ctx`` carries one) covering both
+        flights, and the handler body nests inside it.
         """
         self.rpc_count += 1
         if ctx is not None:
             ctx.rpcs += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            span = tracer.begin(
+                "rpc:" + method, self.sim.now, category="rpc",
+                parent=ctx.trace if ctx is not None else None,
+                host=server.host.name)
+        else:
+            span = None
         yield from self.transit()
+        ok = True
         try:
-            result = yield from server.dispatch(method, args, kwargs)
+            result = yield from server.dispatch(method, args, kwargs, span)
+        except BaseException:
+            ok = False
+            raise
         finally:
             # The response (or error) still has to fly back.
             yield from self.transit()
+            if span is not None:
+                tracer.end(span, self.sim.now, ok=ok)
         return result
 
 
@@ -79,13 +96,27 @@ class Server:
     def sim(self) -> Simulator:
         return self.host.sim
 
-    def dispatch(self, method: str, args: tuple, kwargs: dict):
+    def dispatch(self, method: str, args: tuple, kwargs: dict, span=None):
         if self.host.crashed:
             raise ServiceUnavailableError(self.host.name)
         handler = getattr(self, "rpc_" + method, None)
         if handler is None:
             raise AttributeError(f"{type(self).__name__} has no RPC {method!r}")
-        result = yield from handler(*args, **kwargs)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            hspan = tracer.begin("rpc_" + method, self.sim.now,
+                                 category="handler", parent=span,
+                                 host=self.host.name)
+            ok = True
+            try:
+                result = yield from handler(*args, **kwargs)
+            except BaseException:
+                ok = False
+                raise
+            finally:
+                tracer.end(hspan, self.sim.now, ok=ok)
+        else:
+            result = yield from handler(*args, **kwargs)
         return result
 
 

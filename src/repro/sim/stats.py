@@ -137,9 +137,16 @@ class OpContext:
         ctx.begin(PHASE_LOOKUP, sim.now)
         ...
         ctx.end(PHASE_LOOKUP, sim.now)
+
+    The phase API doubles as a thin shim over span tracing: when the
+    operation's root span is attached (``trace``/``tracer``, set by
+    ``MetadataSystem.perform`` under an enabled tracer), every begin/end
+    pair additionally opens and closes a ``phase``-category child span, so
+    breakdowns can be derived from the trace instead of these counters.
     """
 
-    __slots__ = ("op", "rpcs", "retries", "phases", "_open", "start", "finish")
+    __slots__ = ("op", "rpcs", "retries", "phases", "_open", "start",
+                 "finish", "trace", "tracer", "_phase_spans")
 
     def __init__(self, op: str = ""):
         self.op = op
@@ -149,11 +156,21 @@ class OpContext:
         self._open: Optional[Dict[str, float]] = None
         self.start: Optional[float] = None
         self.finish: Optional[float] = None
+        #: Root span of this operation (None while tracing is off).
+        self.trace = None
+        #: The tracer owning ``trace`` (None while tracing is off).
+        self.tracer = None
+        self._phase_spans: Optional[Dict[str, object]] = None
 
     def begin(self, phase: str, now: float) -> None:
         if self._open is None:
             self._open = {}
         self._open[phase] = now
+        if self.trace is not None:
+            if self._phase_spans is None:
+                self._phase_spans = {}
+            self._phase_spans[phase] = self.tracer.begin(
+                phase, now, category="phase", parent=self.trace)
 
     def end(self, phase: str, now: float) -> None:
         started = self._open.pop(phase, None) if self._open else None
@@ -163,6 +180,10 @@ class OpContext:
         if phases is _NO_PHASES:
             phases = self.phases = {}
         phases[phase] = phases.get(phase, 0.0) + (now - started)
+        if self._phase_spans is not None:
+            span = self._phase_spans.pop(phase, None)
+            if span is not None:
+                self.tracer.end(span, now)
 
     def phase_time(self, phase: str) -> float:
         return self.phases.get(phase, 0.0)

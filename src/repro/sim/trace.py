@@ -1,0 +1,444 @@
+"""Hierarchical span tracing for the simulated cluster.
+
+Every instrumented layer (RPC fabric, Raft, TafDB, IndexNode, the operation
+orchestrators) opens :class:`Span` records against the simulator's tracer.
+Spans carry parent/child links, the host doing the work, and free-form
+attributes, so a single operation unrolls into a tree::
+
+    mkdir                                   (category "op")
+    |-- lookup                              (category "phase")
+    |   `-- rpc:lookup -> rpc_lookup        (categories "rpc"/"handler")
+    |-- execution                           (category "phase")
+    |   `-- tafdb.txn                       (category "txn")
+    `-- rpc:mutate ...
+
+Design constraints, in order of importance:
+
+* **Determinism** — the tracer performs pure Python bookkeeping and never
+  creates simulator events or advances time, so enabling tracing cannot
+  change any simulated result (``tests/experiments/test_fastpath_determinism``
+  pins this down).
+* **Zero cost when off** — the default tracer is the :data:`NULL_TRACER`
+  no-op singleton; instrumentation sites guard on ``tracer.enabled`` so a
+  disabled run pays one attribute load and a boolean test per site.
+* **Bounded overhead when on** — finished spans land in a fixed-size ring
+  buffer (oldest spans fall out) and root spans can be sampled 1-in-N;
+  children of unsampled roots are elided entirely.
+
+Enable tracing with ``MANTLE_TRACE=1`` (every :class:`~repro.sim.core.Simulator`
+constructed in the process gets a live tracer), ``MantleConfig(tracing=True)``
+(one Mantle deployment), or by assigning ``sim.tracer = Tracer()`` directly.
+
+The module also ships a Chrome-trace (``chrome://tracing`` / Perfetto JSON)
+exporter plus the aggregation helpers ``mantle-exp trace``, fig15 and table1
+use to turn raw spans back into the paper's per-phase tables.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Span categories used by the built-in instrumentation.
+CAT_OP = "op"              #: one client-visible metadata operation (root)
+CAT_PHASE = "phase"        #: lookup / loop_detect / execution sub-phase
+CAT_RPC = "rpc"            #: one request/response round trip
+CAT_HANDLER = "handler"    #: server-side rpc_<method> handler body
+CAT_TXN = "txn"            #: one TafDB transaction (1PC or 2PC)
+CAT_RAFT = "raft"          #: Raft persist / replication / apply work
+CAT_INDEX = "index"        #: IndexNode-local resolution work
+CAT_MAINT = "maintenance"  #: background loops (compactor, invalidator)
+
+
+class Span:
+    """One timed interval in the simulation, linked into a tree.
+
+    ``start_us`` / ``end_us`` are simulated microseconds.  ``parent_id`` is 0
+    for root spans.  ``ok`` is False when the spanned work raised.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "category", "host",
+                 "start_us", "end_us", "attrs", "ok")
+
+    def __init__(self, span_id: int, parent_id: int, name: str,
+                 category: str, host: Optional[str], start_us: float):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.host = host
+        self.start_us = start_us
+        self.end_us: Optional[float] = None
+        self.attrs: Optional[Dict[str, Any]] = None
+        self.ok = True
+
+    @property
+    def duration_us(self) -> float:
+        if self.end_us is None:
+            return 0.0
+        return self.end_us - self.start_us
+
+    def annotate(self, **attrs) -> None:
+        """Attach free-form attributes (cache outcome, batch size, ...)."""
+        if self.attrs is None:
+            self.attrs = attrs
+        else:
+            self.attrs.update(attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span(#{self.span_id} {self.category}/{self.name!r} "
+                f"parent={self.parent_id} host={self.host!r} "
+                f"[{self.start_us}, {self.end_us}] ok={self.ok})")
+
+
+class _NullSpan:
+    """Stand-in returned for elided spans (disabled tracer, unsampled root,
+    or any descendant of an unsampled root).  Accepts annotations silently."""
+
+    __slots__ = ()
+    span_id = 0
+    parent_id = 0
+    category = ""
+    name = ""
+    host = None
+    start_us = 0.0
+    end_us = 0.0
+    ok = True
+    duration_us = 0.0
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NULL_SPAN"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Shared elided-span singleton; falsy so ``if span:`` skips dead work.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every call is a no-op.
+
+    Instrumentation sites check :attr:`enabled` before building span
+    arguments, so a disabled run's cost per site is one attribute load and a
+    boolean test — the "zero-cost-when-off" contract the wallclock harness
+    enforces.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    @property
+    def spans(self) -> Sequence[Span]:
+        return ()
+
+    @property
+    def dropped(self) -> int:
+        return 0
+
+    def begin(self, name: str, now: float, category: str = "",
+              parent: Any = None, host: Optional[str] = None):
+        return NULL_SPAN
+
+    def end(self, span, now: float, ok: bool = True) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+#: Process-wide no-op tracer shared by every untraced simulator.
+NULL_TRACER = NullTracer()
+
+#: Default ring capacity: ~40 MB of spans worst-case, far above what the
+#: quick-scale workloads produce, small enough to bound long soak runs.
+DEFAULT_MAX_SPANS = 262_144
+
+
+class Tracer:
+    """Collects finished spans into a bounded ring buffer.
+
+    Parameters
+    ----------
+    max_spans:
+        Ring capacity; once full, the oldest finished spans fall out and
+        :attr:`dropped` counts them.
+    sample_every:
+        Root-span sampling: keep 1 in N root spans (default 1 = keep all).
+        Children of an unsampled root are elided at creation, so sampling
+        bounds tracing overhead for large workloads.
+    """
+
+    __slots__ = ("_ring", "_next_id", "_roots_seen", "_sample_every",
+                 "started", "finished")
+
+    enabled = True
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS,
+                 sample_every: int = 1):
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self._ring: collections.deque = collections.deque(maxlen=max_spans)
+        self._next_id = 0
+        self._roots_seen = 0
+        self._sample_every = sample_every
+        self.started = 0
+        self.finished = 0
+
+    @property
+    def spans(self) -> Sequence[Span]:
+        """Finished spans, oldest first (a snapshot-free live view)."""
+        return self._ring
+
+    @property
+    def dropped(self) -> int:
+        """Finished spans that fell out of the ring."""
+        return self.finished - len(self._ring)
+
+    @property
+    def sample_every(self) -> int:
+        return self._sample_every
+
+    def begin(self, name: str, now: float, category: str = "",
+              parent: Any = None, host: Optional[str] = None):
+        """Open a span; returns :data:`NULL_SPAN` when sampled out.
+
+        ``parent`` is another :class:`Span` (or :data:`NULL_SPAN`, in which
+        case the child is elided too, keeping whole trees atomic under
+        sampling), or ``None`` for a root span.
+        """
+        if parent is None:
+            self._roots_seen += 1
+            if self._sample_every > 1 and \
+                    (self._roots_seen - 1) % self._sample_every:
+                return NULL_SPAN
+            parent_id = 0
+        elif parent is NULL_SPAN:
+            return NULL_SPAN
+        else:
+            parent_id = parent.span_id
+        self._next_id += 1
+        self.started += 1
+        return Span(self._next_id, parent_id, name, category, host, now)
+
+    def end(self, span, now: float, ok: bool = True) -> None:
+        """Close a span and commit it to the ring."""
+        if span is NULL_SPAN:
+            return
+        span.end_us = now
+        span.ok = ok
+        self.finished += 1
+        self._ring.append(span)
+
+    def reset(self) -> None:
+        """Drop every collected span (counters restart too)."""
+        self._ring.clear()
+        self._next_id = 0
+        self._roots_seen = 0
+        self.started = 0
+        self.finished = 0
+
+
+# ---------------------------------------------------------------------------
+# Aggregation: spans -> the paper's per-phase / per-RPC tables.
+# ---------------------------------------------------------------------------
+
+class OpAggregate:
+    """Per-operation rollup of root spans and their direct children.
+
+    Mirrors :class:`~repro.sim.stats.MetricSet` semantics exactly: failed
+    operations contribute to ``failures`` only, phase means average over the
+    roots that recorded that phase, and ``rpcs`` counts one per ``rpc``-
+    category child — which is also how ``OpContext.rpcs`` counts.
+    """
+
+    __slots__ = ("op", "count", "failures", "total_latency_us",
+                 "rpcs_total", "phases")
+
+    def __init__(self, op: str):
+        self.op = op
+        self.count = 0
+        self.failures = 0
+        self.total_latency_us = 0.0
+        self.rpcs_total = 0
+        #: phase -> (roots that recorded it, summed duration).
+        self.phases: Dict[str, Tuple[int, float]] = {}
+
+    @property
+    def mean_latency_us(self) -> float:
+        return self.total_latency_us / self.count if self.count else 0.0
+
+    @property
+    def mean_rpcs(self) -> float:
+        return self.rpcs_total / self.count if self.count else 0.0
+
+    def mean_phase_us(self, phase: str) -> float:
+        entry = self.phases.get(phase)
+        if not entry or not entry[0]:
+            return 0.0
+        return entry[1] / entry[0]
+
+
+def aggregate_ops(spans: Iterable[Span]) -> Dict[str, OpAggregate]:
+    """Fold a span stream into per-operation aggregates.
+
+    Only ``op``-category roots and their *direct* children matter here;
+    deeper descendants (handlers under RPCs, 2PC phases under transactions)
+    are drill-down detail for the exported trace.
+    """
+    roots: Dict[int, Span] = {}
+    children: Dict[int, List[Span]] = {}
+    for span in spans:
+        if span.category == CAT_OP:
+            roots[span.span_id] = span
+        elif span.parent_id:
+            children.setdefault(span.parent_id, []).append(span)
+    out: Dict[str, OpAggregate] = {}
+    for span_id, root in roots.items():
+        agg = out.get(root.name)
+        if agg is None:
+            agg = out[root.name] = OpAggregate(root.name)
+        if not root.ok:
+            agg.failures += 1
+            continue
+        agg.count += 1
+        agg.total_latency_us += root.duration_us
+        per_phase: Dict[str, float] = {}
+        for child in children.get(span_id, ()):
+            if child.category == CAT_PHASE:
+                per_phase[child.name] = (
+                    per_phase.get(child.name, 0.0) + child.duration_us)
+            elif child.category == CAT_RPC:
+                agg.rpcs_total += 1
+        for phase, total in per_phase.items():
+            seen, acc = agg.phases.get(phase, (0, 0.0))
+            agg.phases[phase] = (seen + 1, acc + total)
+    return out
+
+
+def children_index(spans: Iterable[Span]) -> Dict[int, List[Span]]:
+    """parent span_id -> list of direct children (test/debug helper)."""
+    index: Dict[int, List[Span]] = {}
+    for span in spans:
+        if span.parent_id:
+            index.setdefault(span.parent_id, []).append(span)
+    return index
+
+
+def category_summary(spans: Iterable[Span]) -> Dict[str, Tuple[int, float]]:
+    """category -> (span count, summed duration); the coarse cost map."""
+    out: Dict[str, Tuple[int, float]] = {}
+    for span in spans:
+        count, total = out.get(span.category, (0, 0.0))
+        out[span.category] = (count + 1, total + span.duration_us)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace (Perfetto) export.
+# ---------------------------------------------------------------------------
+
+def chrome_trace_events(spans: Iterable[Span], pid: int = 1,
+                        process_name: Optional[str] = None) -> List[dict]:
+    """Render spans as Chrome-trace complete events for one process track.
+
+    Each distinct host becomes a thread (tid) inside the process; spans with
+    no host attribution share a synthetic "orchestration" thread.  ``ts`` is
+    simulated microseconds, which is exactly the unit the format wants.
+    """
+    events: List[dict] = []
+    if process_name:
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": process_name}})
+    tids: Dict[str, int] = {}
+
+    def tid_of(host: Optional[str]) -> int:
+        label = host or "orchestration"
+        tid = tids.get(label)
+        if tid is None:
+            tid = tids[label] = len(tids) + 1
+            events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                           "tid": tid, "args": {"name": label}})
+        return tid
+
+    for span in spans:
+        if span.end_us is None:
+            continue
+        event = {
+            "name": span.name,
+            "cat": span.category or "span",
+            "ph": "X",
+            "ts": span.start_us,
+            "dur": span.duration_us,
+            "pid": pid,
+            "tid": tid_of(span.host),
+            "args": {"span_id": span.span_id,
+                     "parent_id": span.parent_id,
+                     "ok": span.ok},
+        }
+        if span.attrs:
+            event["args"].update(span.attrs)
+        events.append(event)
+    return events
+
+
+def export_chrome_trace(sections: Sequence[Tuple[str, Iterable[Span]]]) -> dict:
+    """Build one Chrome-trace payload; each section is its own pid track."""
+    events: List[dict] = []
+    for pid, (name, spans) in enumerate(sections, start=1):
+        events.extend(chrome_trace_events(spans, pid=pid, process_name=name))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str,
+                       sections: Sequence[Tuple[str, Iterable[Span]]]) -> dict:
+    """Export ``sections`` to ``path`` as Chrome-trace JSON; returns payload."""
+    payload = export_chrome_trace(sections)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return payload
+
+
+def validate_chrome_trace(payload: dict) -> List[str]:
+    """Schema-check a Chrome-trace payload; returns a list of problems.
+
+    Covers what ``chrome://tracing`` / Perfetto actually require: a
+    ``traceEvents`` array of objects with ``name``/``ph``/``pid``/``tid``,
+    numeric non-negative ``ts``+``dur`` on complete ("X") events, and
+    ``args`` objects where present.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            problems.append(f"{where}: missing name")
+        ph = event.get("ph")
+        if ph not in ("X", "M", "B", "E", "i"):
+            problems.append(f"{where}: unsupported ph {ph!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                problems.append(f"{where}: {field} must be an int")
+        if ph == "X":
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)) or value < 0:
+                    problems.append(f"{where}: bad {field} {value!r}")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args must be an object")
+    return problems

@@ -128,35 +128,66 @@ class TafDBClient:
             by_shard.setdefault(self.shard_of(intent.key.pid), []).append(intent)
         txn_id = self.next_txn_id()
         self.txn_attempts += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            span = tracer.begin(
+                "tafdb.txn", self.sim.now, category="txn",
+                parent=ctx.trace if ctx is not None else None)
+            span.annotate(txn_id=txn_id, shards=len(by_shard),
+                          intents=len(intents),
+                          mode="1pc" if len(by_shard) == 1 else "2pc")
+        else:
+            span = None
         if len(by_shard) == 1:
             shard_id, shard_intents = next(iter(by_shard.items()))
             server = self.servers[self.partitioner.server_of_shard(shard_id)]
             try:
                 yield from self.network.rpc(
                     server, "execute", shard_id, txn_id, shard_intents, ctx=ctx)
-            except TransactionAbort:
+            except TransactionAbort as exc:
                 self.txn_aborts += 1
+                if span is not None:
+                    span.annotate(abort_reason=exc.reason)
+                    tracer.end(span, self.sim.now, ok=False)
                 raise
+            if span is not None:
+                tracer.end(span, self.sim.now)
             return
-        yield from self._two_phase_commit(txn_id, by_shard, ctx)
+        try:
+            yield from self._two_phase_commit(txn_id, by_shard, ctx, span)
+        except TransactionAbort as exc:
+            if span is not None:
+                span.annotate(abort_reason=exc.reason)
+                tracer.end(span, self.sim.now, ok=False)
+            raise
+        if span is not None:
+            tracer.end(span, self.sim.now)
 
     def _two_phase_commit(self, txn_id: str,
                           by_shard: Dict[int, List[WriteIntent]],
-                          ctx: Optional[OpContext]):
+                          ctx: Optional[OpContext], span=None):
+        tracer = self.sim.tracer
         shard_ids = sorted(by_shard)
         prepares = [
             self._guarded(self._prepare_one(txn_id, sid, by_shard[sid], ctx))
             for sid in shard_ids
         ]
+        if span is not None:
+            pspan = tracer.begin("tafdb.prepare", self.sim.now,
+                                 category="txn", parent=span)
+        else:
+            pspan = None
         outcomes = yield self.sim.all_of(
             [self.sim.process(p) for p in prepares])
         failures = [err for ok, err in outcomes if not ok]
+        if pspan is not None:
+            tracer.end(pspan, self.sim.now, ok=not failures)
         if failures:
             prepared = [sid for sid, (ok, _) in zip(shard_ids, outcomes) if ok]
-            yield from self._finish(txn_id, prepared, "abort", ctx)
+            yield from self._finish(txn_id, prepared, "abort", ctx, span)
             self.txn_aborts += 1
             raise failures[0]
-        yield from self._finish(txn_id, shard_ids, "commit", ctx)
+        yield from self._finish(txn_id, shard_ids, "commit", ctx, span)
 
     def _prepare_one(self, txn_id: str, shard_id: int,
                      intents: List[WriteIntent], ctx: Optional[OpContext]):
@@ -165,15 +196,23 @@ class TafDBClient:
             server, "prepare", shard_id, txn_id, intents, ctx=ctx)
 
     def _finish(self, txn_id: str, shard_ids: List[int], verb: str,
-                ctx: Optional[OpContext]):
+                ctx: Optional[OpContext], span=None):
         if not shard_ids:
             return
+        tracer = self.sim.tracer
+        if span is not None:
+            fspan = tracer.begin("tafdb." + verb, self.sim.now,
+                                 category="txn", parent=span)
+        else:
+            fspan = None
         rounds = []
         for shard_id in shard_ids:
             server = self.servers[self.partitioner.server_of_shard(shard_id)]
             rounds.append(self._swallow(self.network.rpc(
                 server, verb, shard_id, txn_id, ctx=ctx)))
         yield self.sim.all_of([self.sim.process(r) for r in rounds])
+        if fspan is not None:
+            tracer.end(fspan, self.sim.now)
 
     @staticmethod
     def _guarded(generator):

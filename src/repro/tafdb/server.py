@@ -133,12 +133,24 @@ class DBServer(Server):
                 yield self.sim.timeout(period_us)
                 if self.host.crashed:
                     continue
+                tracer = self.sim.tracer
+                round_folded = 0
+                span = None
                 for state in self.shards.values():
                     for dir_id in state.dirs_with_deltas:
                         folded = state.compact(dir_id)
                         if folded:
+                            if span is None and tracer.enabled:
+                                span = tracer.begin(
+                                    "tafdb.compact", self.sim.now,
+                                    category="maintenance",
+                                    host=self.host.name)
+                            round_folded += folded
                             yield from self.host.work(
                                 self.costs.db_row_write_us * folded)
+                if span is not None:
+                    span.annotate(folded=round_folded)
+                    tracer.end(span, self.sim.now)
         except Interrupt:
             return
 
@@ -151,6 +163,15 @@ class DBServer(Server):
     @property
     def total_commits(self) -> int:
         return sum(s.commits for s in self.shards.values())
+
+    @property
+    def abort_reasons(self) -> Dict[str, int]:
+        """Per-reason abort counts aggregated across this server's shards."""
+        out: Dict[str, int] = {}
+        for state in self.shards.values():
+            for reason, count in state.abort_reasons.items():
+                out[reason] = out.get(reason, 0) + count
+        return out
 
     @property
     def total_rows(self) -> int:

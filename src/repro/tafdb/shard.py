@@ -73,6 +73,9 @@ class ShardState:
         self.aborts = 0
         self.commits = 0
         self.compactions = 0
+        #: Abort counts keyed by conflict reason ("lock held", "exists",
+        #: "missing", "version") — surfaced in trace breakdowns.
+        self.abort_reasons: Dict[str, int] = {}
 
     # -- reads --------------------------------------------------------------
 
@@ -145,8 +148,10 @@ class ShardState:
                 if holder is None:
                     self._locks[intent.key] = txn_id
                     acquired.append(intent.key)
-        except TransactionAbort:
+        except TransactionAbort as exc:
             self.aborts += 1
+            self.abort_reasons[exc.reason] = \
+                self.abort_reasons.get(exc.reason, 0) + 1
             for key in acquired:
                 del self._locks[key]
             raise

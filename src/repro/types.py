@@ -101,6 +101,35 @@ class DirentKey:
     name: str
 
 
+class OpResult(int):
+    """Typed result of a mutating client operation.
+
+    Behaves as the inode id of the affected entry (it *is* an ``int``, so
+    existing ``stat.id == client.create(...)`` comparisons keep working) and
+    additionally carries the per-operation measurements the client recorded:
+
+    * ``rpcs`` — RPC round trips the operation performed (Table 1 counting);
+    * ``retries`` — transaction/rename retries absorbed before success;
+    * ``latency_us`` — simulated end-to-end latency in microseconds.
+    """
+
+    def __new__(cls, inode_id: int, rpcs: int = 0, retries: int = 0,
+                latency_us: float = 0.0) -> "OpResult":
+        self = super().__new__(cls, inode_id)
+        self.rpcs = rpcs
+        self.retries = retries
+        self.latency_us = latency_us
+        return self
+
+    @property
+    def inode_id(self) -> int:
+        return int(self)
+
+    def __repr__(self) -> str:
+        return (f"OpResult(inode_id={int(self)}, rpcs={self.rpcs}, "
+                f"retries={self.retries}, latency_us={self.latency_us})")
+
+
 @dataclasses.dataclass(frozen=True)
 class StatResult:
     """What objstat/dirstat return to the application."""

@@ -94,6 +94,22 @@ class TestFastPathDeterminism:
         legacy = _mdtest_fingerprint()
         assert fast == legacy
 
+    def test_tracing_does_not_change_results(self, monkeypatch):
+        """Span tracing is pure bookkeeping: identical simulated results."""
+        monkeypatch.delenv("MANTLE_TRACE", raising=False)
+        untraced = _mdtest_fingerprint()
+        monkeypatch.setenv("MANTLE_TRACE", "1")
+        traced = _mdtest_fingerprint()
+        assert untraced == traced
+
+    def test_tracing_identical_on_legacy_kernel(self, monkeypatch):
+        monkeypatch.setenv("MANTLE_SIM_FAST", "0")
+        monkeypatch.delenv("MANTLE_TRACE", raising=False)
+        untraced = _mdtest_fingerprint()
+        monkeypatch.setenv("MANTLE_TRACE", "1")
+        traced = _mdtest_fingerprint()
+        assert untraced == traced
+
     def test_fig12_quick_identical_across_runs_and_kernels(self, monkeypatch):
         first = _fig12_rows()
         second = _fig12_rows()
