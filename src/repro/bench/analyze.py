@@ -1,0 +1,224 @@
+"""Saturation analyzer: attribute each experiment point to its bottleneck.
+
+The paper's scaling arguments are mechanistic — baselines hit CPU
+saturation on their metadata servers first (Figs 12/14/19), Mantle's
+lookups are wire-dominated until much higher load, and shared-directory
+mutation workloads die of transaction conflicts rather than of any
+hardware limit.  This module turns a run's telemetry + metrics into that
+attribution automatically: each run is classified as **cpu-bound**,
+**fsync-bound**, **rpc-bound** or **contention-bound** when the dominant
+score clears a threshold in the steady-state window, else
+**underloaded**.
+
+Scores, all in [0, 1]:
+
+* ``cpu`` — max per-host CPU busy-fraction (time-clipped to the steady
+  window, from the ``host.cpu_busy_us`` telemetry counter);
+* ``fsync`` — max per-host disk busy-fraction (``host.disk_busy_us``);
+* ``rpc`` — fraction of completed-op latency spent as network flight
+  time (mean RPC rounds x RTT / mean latency).  High when the wire, not
+  any server, sets latency — the signature of an unsaturated Mantle;
+* ``contention`` — max of the TafDB abort ratio (aborts / outcomes, from
+  the per-window ``tafdb.*`` counters) and the op retry ratio.
+
+The classifier itself is pure arithmetic over these numbers, so it is
+unit-testable on synthetic timelines and bit-deterministic across
+kernels (every input derives from simulated time only).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+#: A score must clear this to pin the run on one resource.
+DEFAULT_THRESHOLD = 0.5
+
+#: Fraction of the run treated as steady state (the middle half).
+STEADY_FRACTION = 0.5
+
+#: Score key -> verdict label.
+LABELS = {
+    "cpu": "cpu-bound",
+    "fsync": "fsync-bound",
+    "rpc": "rpc-bound",
+    "contention": "contention-bound",
+}
+
+UNDERLOADED = "underloaded"
+
+
+@dataclasses.dataclass(frozen=True)
+class Verdict:
+    """Classification of one run plus the evidence behind it."""
+
+    label: str
+    scores: Dict[str, float]
+    hotspots: Dict[str, str]
+    window: Tuple[float, float]
+
+    def describe(self) -> str:
+        parts = [f"{key}={self.scores.get(key, 0.0):.2f}"
+                 for key in sorted(LABELS)]
+        hot = self.hotspots.get(self.label.split("-")[0], "")
+        suffix = f" @{hot}" if hot else ""
+        return f"{self.label}{suffix} ({', '.join(parts)})"
+
+
+def steady_window(started_us: float, finished_us: float,
+                  fraction: float = STEADY_FRACTION) -> Tuple[float, float]:
+    """The middle ``fraction`` of ``[started_us, finished_us]`` — clear of
+    warm-up (empty caches, cold Raft pipeline) and drain (stragglers)."""
+    span = finished_us - started_us
+    if span <= 0:
+        return started_us, started_us
+    mid = started_us + span / 2.0
+    half = span * fraction / 2.0
+    return mid - half, mid + half
+
+
+#: Scores that measure distance to a hard ceiling (utilizations/ratios).
+#: They outrank ``rpc``, which is a latency decomposition: a host at 90%
+#: CPU is the knee even if most of an op's latency is still wire time.
+SATURATION_KEYS = ("cpu", "fsync", "contention")
+
+
+def classify(scores: Dict[str, float],
+             threshold: float = DEFAULT_THRESHOLD) -> str:
+    """Two-tier dominant-resource classification.
+
+    The highest *saturation* score (cpu/fsync/contention) at or above
+    ``threshold`` wins; otherwise a wire fraction >= ``threshold`` makes
+    the run rpc-bound; otherwise it is underloaded.  Ties break in sorted
+    key order so the verdict is deterministic.
+    """
+    best_key = None
+    best_score = -1.0
+    for key in sorted(scores):
+        if key in SATURATION_KEYS and scores[key] > best_score:
+            best_key = key
+            best_score = scores[key]
+    if best_key is not None and best_score >= threshold:
+        return LABELS.get(best_key, best_key + "-bound")
+    if scores.get("rpc", 0.0) >= threshold:
+        return LABELS["rpc"]
+    return UNDERLOADED
+
+
+def _busy_fractions(telemetry, metric: str, lo: float,
+                    hi: float) -> Dict[str, float]:
+    """Per-host busy-fraction of a ``*_busy_us`` counter over ``[lo, hi)``."""
+    elapsed = hi - lo
+    if elapsed <= 0:
+        return {}
+    out = {}
+    for host in telemetry.hosts(metric):
+        counter = telemetry.counter(metric, host)
+        capacity = counter.capacity if counter.capacity > 0 else 1.0
+        out[host] = counter.sum_clipped(lo, hi) / (elapsed * capacity)
+    return out
+
+
+def _max_entry(fractions: Dict[str, float]) -> Tuple[float, str]:
+    best_host = ""
+    best = 0.0
+    for host in sorted(fractions):
+        if fractions[host] > best:
+            best = fractions[host]
+            best_host = host
+    return best, best_host
+
+
+def rpc_wire_fraction(system, metrics) -> float:
+    """Fraction of completed-op latency that is pure network flight."""
+    total_latency = sum(rec.total for rec in metrics.latency.values())
+    if total_latency <= 0:
+        return 0.0
+    total_rpcs = sum(rec.total for rec in metrics.rpc_rounds.values())
+    rtt = 2.0 * system.costs.net_one_way_us
+    return min(1.0, total_rpcs * rtt / total_latency)
+
+
+def contention_score(metrics, telemetry, lo: float, hi: float) -> float:
+    """Max of the steady-window TafDB abort ratio and the retry ratio."""
+    aborts = 0.0
+    commits = 0.0
+    for inst in telemetry.instruments():
+        if inst.kind != "counter":
+            continue
+        if inst.name.startswith("tafdb.aborts."):
+            aborts += inst.sum_clipped(lo, hi)
+        elif inst.name == "tafdb.commits":
+            commits += inst.sum_clipped(lo, hi)
+    abort_ratio = aborts / (aborts + commits) if (aborts + commits) > 0 else 0.0
+    attempts = metrics.ops_completed + metrics.retries
+    retry_ratio = metrics.retries / attempts if attempts > 0 else 0.0
+    return max(abort_ratio, retry_ratio)
+
+
+def classify_run(system, metrics, telemetry=None,
+                 threshold: float = DEFAULT_THRESHOLD) -> Verdict:
+    """Score and classify one finished benchmark run.
+
+    ``telemetry`` defaults to the system simulator's registry; it must
+    have been enabled for the run for the cpu/fsync/contention scores to
+    be meaningful (they fall back to 0 otherwise).
+    """
+    if telemetry is None:
+        telemetry = system.sim.telemetry
+    telemetry.finalize(system.sim.now)
+    lo, hi = steady_window(metrics.started_at, metrics.finished_at)
+    cpu_fracs = _busy_fractions(telemetry, "host.cpu_busy_us", lo, hi)
+    disk_fracs = _busy_fractions(telemetry, "host.disk_busy_us", lo, hi)
+    cpu, cpu_host = _max_entry(cpu_fracs)
+    fsync, fsync_host = _max_entry(disk_fracs)
+    scores = {
+        "cpu": min(1.0, cpu),
+        "fsync": min(1.0, fsync),
+        "rpc": rpc_wire_fraction(system, metrics),
+        "contention": contention_score(metrics, telemetry, lo, hi),
+    }
+    hotspots = {}
+    if cpu_host:
+        hotspots["cpu"] = cpu_host
+    if fsync_host:
+        hotspots["fsync"] = fsync_host
+    return Verdict(label=classify(scores, threshold), scores=scores,
+                   hotspots=hotspots, window=(lo, hi))
+
+
+# -- timeline helpers (CLI rendering / tests) -------------------------------
+
+
+def utilization_series(counter) -> list:
+    """``[(window_start_us, busy_fraction)]`` for a ``*_busy_us`` counter."""
+    capacity = counter.capacity if counter.capacity > 0 else 1.0
+    denom = counter.window_us * capacity
+    return [(start, value / denom) for start, value in counter.series()]
+
+
+def hit_ratio_series(telemetry, hits_metric: str = "index.cache_hits",
+                     misses_metric: str = "index.cache_misses") -> list:
+    """``[(window_start_us, hit_ratio)]`` aggregated across hosts."""
+    totals: Dict[int, list] = {}
+    for metric, slot in ((hits_metric, 0), (misses_metric, 1)):
+        for host in telemetry.hosts(metric):
+            counter = telemetry.counter(metric, host)
+            for idx, value in counter.windows.items():
+                cell = totals.setdefault(idx, [0.0, 0.0])
+                cell[slot] += value
+    w = None
+    for metric in (hits_metric, misses_metric):
+        for host in telemetry.hosts(metric):
+            w = telemetry.counter(metric, host).window_us
+            break
+        if w is not None:
+            break
+    if w is None:
+        return []
+    out = []
+    for idx in sorted(totals):
+        hits, misses = totals[idx]
+        seen = hits + misses
+        out.append((idx * w, hits / seen if seen > 0 else 0.0))
+    return out

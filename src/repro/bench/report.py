@@ -79,6 +79,28 @@ def table_to_jsonable(table: Table) -> Dict[str, Any]:
     }
 
 
+#: Column order of :func:`latency_summary_table`, matching
+#: :meth:`repro.sim.stats.LatencyRecorder.summary`.
+SUMMARY_COLUMNS = ("count", "mean", "p50", "p99", "p999", "max", "stddev")
+
+
+def latency_summary_table(recorders: Dict[str, Any], title: str,
+                          label: str = "op") -> Table:
+    """One row per recorder from ``LatencyRecorder.summary()`` digests.
+
+    ``recorders`` maps a row label (op name, case name) to a recorder;
+    empty recorders render as all-zero rows rather than being dropped, so
+    a missing stream is visible.
+    """
+    table = Table(title=title,
+                  headers=[label] + [c + " us" if c != "count" else c
+                                     for c in SUMMARY_COLUMNS])
+    for name in sorted(recorders):
+        digest = recorders[name].summary()
+        table.add_row(name, *[digest[c] for c in SUMMARY_COLUMNS])
+    return table
+
+
 def ratio(numerator: float, denominator: float) -> float:
     """Safe speedup/ratio helper used all over the experiment modules."""
     if denominator == 0:

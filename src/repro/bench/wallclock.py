@@ -29,17 +29,18 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.sim.core import AnyOf, Simulator
 from repro.sim.resources import Resource, Store
+from repro.sim.telemetry import NULL_TELEMETRY
 from repro.sim.trace import NULL_TRACER
 
 
 def _untraced_sim() -> Simulator:
-    """A simulator with tracing explicitly off.
+    """A simulator with tracing and telemetry explicitly off.
 
     The kernel numbers gate the "zero cost when off" contract of the span
-    tracer, so they must not silently inherit ``MANTLE_TRACE`` from the
-    environment.
+    tracer and the telemetry registry, so they must not silently inherit
+    ``MANTLE_TRACE`` / ``MANTLE_TELEMETRY`` from the environment.
     """
-    return Simulator(tracer=NULL_TRACER)
+    return Simulator(tracer=NULL_TRACER, telemetry=NULL_TELEMETRY)
 
 #: Repository root (src/repro/bench/wallclock.py -> repo root).
 REPO_ROOT = os.path.abspath(
@@ -150,6 +151,16 @@ PR1_BASELINE_EVENTS_PER_S: Dict[str, float] = {
     "anyof_fanout": 860920.9,
 }
 
+#: events/s at the end of PR-2 (commit 740041e, span tracing merged; same
+#: container, repeats=5).  The telemetry PR must keep the instrumented-but-
+#: off kernel within 5% of these — ``--assert-vs-pr2 0.05`` is the CI gate.
+PR2_BASELINE_EVENTS_PER_S: Dict[str, float] = {
+    "timeout_churn": 730290.7,
+    "immediate_resume": 3061237.8,
+    "resource_pingpong": 961945.5,
+    "anyof_fanout": 737417.1,
+}
+
 
 def run_kernel_benches(repeats: int = 3) -> Dict[str, Dict[str, float]]:
     """Run every kernel microbench, keeping the best of ``repeats`` runs."""
@@ -175,6 +186,9 @@ def run_kernel_benches(repeats: int = 3) -> Dict[str, Dict[str, float]]:
         pr1 = PR1_BASELINE_EVENTS_PER_S.get(name)
         if pr1:
             results[name]["speedup_vs_pr1"] = round(best_rate / pr1, 3)
+        pr2 = PR2_BASELINE_EVENTS_PER_S.get(name)
+        if pr2:
+            results[name]["speedup_vs_pr2"] = round(best_rate / pr2, 3)
     return results
 
 
@@ -225,6 +239,35 @@ def measure_tracing_overhead(clients: int = 24,
     }
 
 
+def measure_telemetry_overhead(clients: int = 24,
+                               items: int = 8) -> Dict[str, float]:
+    """Wall-clock cost of windowed telemetry on one mdtest mkdir run.
+
+    Same shape as :func:`measure_tracing_overhead`: the identical workload
+    with telemetry off and with a live
+    :class:`~repro.sim.telemetry.Telemetry` registry.  The simulated
+    results are bit-identical either way (pinned by the determinism
+    tests); only wall-clock and the instrument count differ.
+    """
+    from repro.experiments.base import (mdtest_metrics,
+                                        mdtest_metrics_telemetry)
+
+    start = time.perf_counter()
+    mdtest_metrics("mantle", "mkdir", clients=clients, items=items)
+    off_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    _, telemetry, _ = mdtest_metrics_telemetry("mantle", "mkdir",
+                                               clients=clients, items=items)
+    on_s = time.perf_counter() - start
+    return {
+        "telemetry_off_s": round(off_s, 4),
+        "telemetry_on_s": round(on_s, 4),
+        "overhead_ratio": round(on_s / off_s, 3) if off_s else 0.0,
+        "instruments": len(telemetry.instruments()),
+    }
+
+
 # ---------------------------------------------------------------------------
 # Quick experiment suite timing.
 # ---------------------------------------------------------------------------
@@ -263,6 +306,11 @@ def main(argv=None) -> int:
                         metavar="FRAC",
                         help="fail if the untraced kernel geomean drops more "
                              "than FRAC (e.g. 0.10) below the PR-1 baseline")
+    parser.add_argument("--assert-vs-pr2", type=float, default=None,
+                        metavar="FRAC",
+                        help="fail if the telemetry-off kernel geomean drops "
+                             "more than FRAC (e.g. 0.05) below the PR-2 "
+                             "baseline")
     parser.add_argument("--skip-overhead", action="store_true",
                         help="skip the traced-vs-untraced workload timing")
     args = parser.parse_args(argv)
@@ -285,6 +333,10 @@ def main(argv=None) -> int:
         geomean_speedup(report["kernel"], key="speedup_vs_pr1"), 3)
     report["kernel_geomean_speedup_vs_pr1"] = geomean_pr1
     print(f"kernel geomean speedup vs PR-1: {geomean_pr1:.2f}x")
+    geomean_pr2 = round(
+        geomean_speedup(report["kernel"], key="speedup_vs_pr2"), 3)
+    report["kernel_geomean_speedup_vs_pr2"] = geomean_pr2
+    print(f"kernel geomean speedup vs PR-2: {geomean_pr2:.2f}x")
 
     failed = False
     if args.assert_vs_pr1 is not None:
@@ -296,6 +348,15 @@ def main(argv=None) -> int:
             failed = True
         else:
             print(f"assert-vs-pr1 OK: {geomean_pr1:.3f}x >= {floor:.2f}x")
+    if args.assert_vs_pr2 is not None:
+        floor = 1.0 - args.assert_vs_pr2
+        if geomean_pr2 < floor:
+            print(f"FAIL: kernel geomean {geomean_pr2:.3f}x vs PR-2 is "
+                  f"below the {floor:.2f}x floor "
+                  f"(>{args.assert_vs_pr2:.0%} regression)", file=sys.stderr)
+            failed = True
+        else:
+            print(f"assert-vs-pr2 OK: {geomean_pr2:.3f}x >= {floor:.2f}x")
 
     if not args.skip_overhead:
         overhead = measure_tracing_overhead()
@@ -303,6 +364,13 @@ def main(argv=None) -> int:
         print(f"tracing overhead      {overhead['overhead_ratio']:.2f}x wall "
               f"({overhead['untraced_s']:.2f}s -> {overhead['traced_s']:.2f}s,"
               f" {overhead['spans']} spans)")
+        telemetry_cost = measure_telemetry_overhead()
+        report["telemetry_overhead"] = telemetry_cost
+        print(f"telemetry overhead    "
+              f"{telemetry_cost['overhead_ratio']:.2f}x wall "
+              f"({telemetry_cost['telemetry_off_s']:.2f}s -> "
+              f"{telemetry_cost['telemetry_on_s']:.2f}s, "
+              f"{telemetry_cost['instruments']} instruments)")
 
     if not args.skip_suite:
         suite: Dict[str, object] = {"serial": time_quick_suite(

@@ -254,6 +254,12 @@ class MantleClient:
         """The simulator's span tracer (the no-op singleton when off)."""
         return self.system.sim.tracer
 
+    @property
+    def telemetry(self):
+        """The simulator's time-series registry (the no-op singleton when
+        off; enable with ``MantleConfig(telemetry=True)``)."""
+        return self.system.sim.telemetry
+
     def cache_stats(self) -> dict:
         """TopDirPathCache statistics of the current leader replica."""
         leader = self.system.index_group.leader_or_raise()

@@ -84,6 +84,13 @@ class MantleConfig:
     #: creates simulator events, so simulated results are identical with it
     #: on or off.  ``MANTLE_TRACE=1`` enables tracing process-wide instead.
     tracing: bool = False
+    #: Attach a windowed time-series registry (:mod:`repro.sim.telemetry`)
+    #: to this deployment's simulator.  Same contract as ``tracing``: pure
+    #: bookkeeping, results identical either way.  ``MANTLE_TELEMETRY=1``
+    #: enables it process-wide instead.
+    telemetry: bool = False
+    #: Telemetry sampling window in simulated microseconds (10 ms sim).
+    telemetry_window_us: float = 10_000.0
 
     # --- costs -------------------------------------------------------------
     costs: CostModel = dataclasses.field(default_factory=CostModel)
@@ -131,3 +138,5 @@ class MantleConfig:
             raise ValueError("need at least one DB shard and server")
         if self.num_db_shards % self.num_db_servers != 0:
             raise ValueError("shards must divide evenly across DB servers")
+        if self.telemetry_window_us <= 0:
+            raise ValueError("telemetry_window_us must be positive")

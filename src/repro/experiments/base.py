@@ -136,6 +136,40 @@ def mdtest_metrics_traced(system_name: str, op: str, mode: str = "exclusive",
         system.shutdown()
 
 
+def mdtest_metrics_telemetry(system_name: str, op: str,
+                             mode: str = "exclusive", clients: int = 32,
+                             items: int = 10, depth: int = 10,
+                             cluster_scale: Optional[str] = None,
+                             window_us: Optional[float] = None,
+                             config=None, **build_overrides):
+    """Like :func:`mdtest_metrics`, but with windowed telemetry attached.
+
+    Attaches a fresh :class:`~repro.sim.telemetry.Telemetry` to the
+    system's simulator, runs the workload and classifies the run with the
+    saturation analyzer *before* teardown (the verdict needs the live
+    system's cost model and host set).  Returns ``(metrics, telemetry,
+    verdict)``.  Telemetry is pure bookkeeping, so the metrics are
+    bit-identical to an uninstrumented run.
+    """
+    from repro.bench.analyze import classify_run
+    from repro.sim.telemetry import Telemetry
+
+    if config is not None:
+        build_overrides["config"] = config
+    system = build_system(system_name, cluster_scale or "quick",
+                          **build_overrides)
+    telemetry = Telemetry(window_us) if window_us else Telemetry()
+    system.sim.telemetry = telemetry
+    try:
+        workload = MdtestWorkload(op, mode=mode, depth=depth, items=items,
+                                  num_clients=clients)
+        metrics = run_workload(system, workload)
+        verdict = classify_run(system, metrics, telemetry)
+        return metrics, telemetry, verdict
+    finally:
+        system.shutdown()
+
+
 def app_metrics(system_name: str, workload, data_access: bool = False,
                 cluster_scale: str = "quick",
                 **build_overrides) -> MetricSet:

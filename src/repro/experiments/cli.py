@@ -6,6 +6,7 @@ Usage::
     mantle-exp run fig12 [--scale quick|full] [--jobs N]
     mantle-exp all [--scale quick|full] [--jobs N]
     mantle-exp trace fig15 [--scale quick|full] [--out trace_fig15.json]
+    mantle-exp telemetry fig14 [--scale quick|full] [--out telemetry_fig14]
 
 ``run --jobs N`` fans a sweep experiment's per-point simulators across N
 worker processes; ``all --jobs N`` runs whole experiments concurrently.
@@ -15,6 +16,10 @@ wall-clock changes — and output is printed in deterministic registry order.
 ``trace`` reruns fig15/table1 with span tracing on, writes a Chrome-trace /
 Perfetto JSON, prints the span-tree breakdown, and cross-checks the
 span-derived tables against the legacy counters (must agree within 1%).
+
+``telemetry`` reruns a figure's knee points with windowed telemetry on,
+prints the saturation analyzer's verdicts plus per-host CPU / cache
+hit-ratio timelines, and exports the per-window series as CSV + JSON.
 """
 
 from __future__ import annotations
@@ -102,6 +107,22 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    from repro.experiments.telemetrycmd import run_telemetry
+
+    started = time.time()
+    tables, lines, payload = run_telemetry(
+        args.experiment, scale=args.scale, out_base=args.out,
+        clients=args.clients, items=args.items, window_us=args.window_us)
+    header = (f"### telemetry {args.experiment} (scale={args.scale}, "
+              f"{len(payload['rows'])} exported rows, "
+              f"{time.time() - started:.1f}s wall)")
+    print_tables(tables, header=header)
+    print()
+    print("\n".join(lines))
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="mantle-exp",
@@ -129,9 +150,26 @@ def main(argv=None) -> int:
     trace_parser.add_argument("--out", metavar="PATH", default="",
                               help="Chrome-trace output path "
                                    "(default trace_<experiment>.json)")
+    telemetry_parser = sub.add_parser(
+        "telemetry",
+        help="rerun a figure's knee points instrumented; export CSV/JSON")
+    telemetry_parser.add_argument("experiment",
+                                  choices=("fig12", "fig14", "fig19"))
+    telemetry_parser.add_argument("--scale", choices=("quick", "full"),
+                                  default="quick")
+    telemetry_parser.add_argument("--out", metavar="BASE", default="",
+                                  help="output base path "
+                                       "(default telemetry_<experiment>)")
+    telemetry_parser.add_argument("--clients", type=int, default=None,
+                                  help="override the cases' client count")
+    telemetry_parser.add_argument("--items", type=int, default=None,
+                                  help="override ops per client")
+    telemetry_parser.add_argument("--window-us", type=float, default=None,
+                                  help="telemetry window in simulated us "
+                                       "(default 1000 quick / 10000 full)")
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
-                "trace": _cmd_trace}
+                "trace": _cmd_trace, "telemetry": _cmd_telemetry}
     return handlers[args.command](args)
 
 

@@ -22,21 +22,31 @@ from repro.workloads.namespace import build_namespace, populate
 
 def _run(config: MantleConfig, op: str, clients: int, items: int,
          prefill_dirs: int = 0):
+    from repro.bench.analyze import classify_run
+    from repro.sim.telemetry import Telemetry
+
     system = build_system("mantle", "quick", config=config)
     try:
         if prefill_dirs:
             populate(system, build_namespace(num_dirs=prefill_dirs,
                                              objects_per_dir=10, seed=5,
                                              root="/bulk"))
+        # Telemetry attaches after the prefill so the saturation window
+        # reflects the measured workload, not bulk loading.
+        telemetry = Telemetry()
+        system.sim.telemetry = telemetry
         workload = MdtestWorkload(op, depth=10, items=items,
                                   num_clients=clients)
-        return run_workload(system, workload).throughput_kops()
+        metrics = run_workload(system, workload)
+        verdict = classify_run(system, metrics, telemetry)
+        return metrics.throughput_kops(), verdict.label
     finally:
         system.shutdown()
 
 
-def _scal_point(point) -> float:
-    """One sweep cell: (config, op, clients, items, prefill) -> Kop/s."""
+def _scal_point(point):
+    """One sweep cell: (config, op, clients, items, prefill) ->
+    (Kop/s, bottleneck label)."""
     config, op, clients, items, prefill = point
     return _run(config, op, clients, items, prefill)
 
@@ -58,8 +68,8 @@ def run(scale: str = "quick", jobs: int = 1) -> List[Table]:
     for i, prefill in enumerate(prefills):
         size_table.add_row(
             prefill * 11 if prefill else 0,  # dirs + 10 objects each
-            round(size_results[2 * i], 1),
-            round(size_results[2 * i + 1], 1))
+            round(size_results[2 * i][0], 1),
+            round(size_results[2 * i + 1][0], 1))
     size_table.add_note("paper sweeps 1B-10B entries; hash-partitioned "
                         "shards and hash caches are size-invariant, which "
                         "is the property under test")
@@ -81,10 +91,16 @@ def run(scale: str = "quick", jobs: int = 1) -> List[Table]:
             (followers, "objstat", count, items, 0),
             (learners, "objstat", count, items, 0),
         ]
+    bottleneck_table = Table(
+        "Figure 19b bottleneck attribution (saturation analyzer, "
+        "steady-state window)",
+        ["clients", "create", "objstat (no follower read)",
+         "objstat +followers", "objstat +learners"])
     client_results = map_points(_scal_point, client_points, jobs=jobs)
     for i, count in enumerate(counts):
+        cells = client_results[4 * i:4 * i + 4]
         create_kops, solo, with_followers, with_learners = (
-            client_results[4 * i:4 * i + 4])
+            c[0] for c in cells)
         client_table.add_row(
             count,
             round(create_kops, 1),
@@ -92,7 +108,11 @@ def run(scale: str = "quick", jobs: int = 1) -> List[Table]:
             round(with_followers, 1),
             round(with_learners, 1),
             round(ratio(with_learners, solo), 2))
+        bottleneck_table.add_row(count, *[c[1] for c in cells])
     client_table.add_note("paper: leader-only objstat levels at ~376 Kop/s, "
                           "+2 followers 1288, +2 learners 1894 (2048 "
                           "threads); create caps at TafDB capacity")
-    return [size_table, client_table]
+    bottleneck_table.add_note("the objstat knee is the leader IndexNode's "
+                              "CPU; followers/learners shift it back to the "
+                              "wire, create hits TafDB first")
+    return [size_table, client_table, bottleneck_table]

@@ -1,0 +1,189 @@
+"""``mantle-exp telemetry`` — rerun a figure's knee points instrumented.
+
+For each supported figure this reruns one or two *representative* sweep
+points (the saturated knee plus a contrasting case) with windowed
+telemetry attached, then
+
+* prints the saturation analyzer's verdict per case — bottleneck label,
+  the four scores behind it and the hot host,
+* renders terminal timelines: per-host CPU busy-fraction, the index
+  cache hit-ratio and the in-flight RPC level, one sparkline column per
+  telemetry window of simulated time,
+* prints the primary case's per-op latency digest
+  (:func:`repro.bench.report.latency_summary_table`), and
+* exports the primary case's per-window series as
+  ``telemetry_<fig>.csv`` / ``.json`` (schema
+  :data:`repro.sim.telemetry.EXPORT_COLUMNS`, checked with
+  :func:`repro.sim.telemetry.validate_rows` before writing).
+
+Telemetry is pure bookkeeping, so the rerun's simulated results are
+bit-identical to the uninstrumented figure run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.analyze import hit_ratio_series, utilization_series
+from repro.bench.report import Table, latency_summary_table
+from repro.experiments.base import mdtest_metrics_telemetry, pick
+from repro.sim.telemetry import sparkline, validate_rows
+
+#: Sparkline width: one character per telemetry window, capped here.
+TIMELINE_WIDTH = 60
+
+
+@dataclasses.dataclass(frozen=True)
+class Case:
+    """One instrumented rerun of a figure's sweep point."""
+
+    label: str
+    system: str
+    op: str
+    mode: str = "exclusive"
+    #: (quick, full) client counts — the figure's own budgets.
+    clients: Tuple[int, int] = (64, 192)
+    items: Tuple[int, int] = (12, 30)
+    #: kwargs for :class:`~repro.core.config.MantleConfig` (mantle only).
+    config_kwargs: Optional[Dict] = None
+
+
+#: fig id -> representative cases; the first case is the one exported.
+CASES: Dict[str, Tuple[Case, ...]] = {
+    # Fig 12 knee: baselines pin their shard servers' CPU on reads while
+    # Mantle stays wire-dominated.
+    "fig12": (
+        Case("tectonic objstat", "tectonic", "objstat",
+             clients=(64, 192), items=(12, 30)),
+        Case("mantle objstat", "mantle", "objstat",
+             clients=(64, 192), items=(12, 30)),
+    ),
+    # Fig 14 knee: shared-directory mkdir flips baselines from hardware
+    # saturation to transaction conflicts.
+    "fig14": (
+        Case("tectonic mkdir-s", "tectonic", "mkdir", mode="shared",
+             clients=(64, 160), items=(10, 24)),
+        Case("mantle mkdir-s", "mantle", "mkdir", mode="shared",
+             clients=(64, 160), items=(10, 24)),
+    ),
+    # Fig 19b knee at the top client count: leader-only objstat saturates
+    # the leader IndexNode's CPU; create hits the TafDB fsync floor.
+    "fig19": (
+        Case("objstat leader-only", "mantle", "objstat",
+             clients=(320, 640), items=(10, 20),
+             config_kwargs={"enable_follower_read": False}),
+        Case("create", "mantle", "create",
+             clients=(320, 640), items=(10, 20)),
+    ),
+}
+
+
+def _build_config(case: Case):
+    if case.config_kwargs is None:
+        return None
+    from repro.core.config import MantleConfig
+
+    return MantleConfig(**case.config_kwargs)
+
+
+def _timeline(label: str, values: List[float], unit_cap: bool) -> str:
+    if not values:
+        return f"  {label:<24} (no samples)"
+    hi = 1.0 if unit_cap else None
+    peak = max(values)
+    spark = sparkline(values, hi=hi, width=TIMELINE_WIDTH)
+    return f"  {label:<24} |{spark}| peak {peak:.2f}"
+
+
+def timeline_lines(label: str, telemetry, verdict) -> List[str]:
+    """Terminal timelines for one case: CPU per host, cache hit-ratio,
+    in-flight RPC level.  One sparkline column per telemetry window."""
+    lines = [f"-- {label}: {verdict.describe()}",
+             f"   steady window {verdict.window[0]:.0f}-"
+             f"{verdict.window[1]:.0f} us, "
+             f"telemetry window {telemetry.window_us:.0f} us"]
+    for host in telemetry.hosts("host.cpu_busy_us"):
+        series = utilization_series(telemetry.counter("host.cpu_busy_us",
+                                                      host))
+        lines.append(_timeline(f"cpu {host}", [v for _, v in series], True))
+    hits = hit_ratio_series(telemetry)
+    if hits:
+        lines.append(_timeline("index cache hit-ratio",
+                               [v for _, v in hits], True))
+    in_flight = telemetry.find("rpc.in_flight")
+    if in_flight is not None:
+        series = in_flight.series()
+        lines.append(_timeline("rpcs in flight",
+                               [mean for _, mean, _ in series], False))
+    return lines
+
+
+def run_telemetry(fig: str, scale: str = "quick", out_base: str = "",
+                  clients: Optional[int] = None, items: Optional[int] = None,
+                  window_us: Optional[float] = None):
+    """Instrumented rerun of ``fig``'s knee points.
+
+    Returns ``(tables, lines, payload)`` — result tables, timeline text
+    lines, and the JSON payload written for the primary case.  Raises
+    ``RuntimeError`` if the exported rows fail schema validation.
+    """
+    if fig not in CASES:
+        known = ", ".join(sorted(CASES))
+        raise ValueError(f"no telemetry cases for {fig!r}; choose from "
+                         f"{known}")
+    out_base = out_base or f"telemetry_{fig}"
+    # Short quick-scale runs get a finer window so timelines have columns.
+    window = window_us or pick(scale, 1_000.0, 10_000.0)
+
+    verdict_table = Table(
+        f"{fig} saturation verdicts (steady-state window)",
+        ["case", "system", "op", "Kop/s", "bottleneck", "cpu", "fsync",
+         "rpc", "contention", "hot host"])
+    lines: List[str] = []
+    results = []
+    for case in CASES[fig]:
+        metrics, telemetry, verdict = mdtest_metrics_telemetry(
+            case.system, case.op, mode=case.mode,
+            clients=clients or pick(scale, *case.clients),
+            items=items or pick(scale, *case.items),
+            window_us=window, config=_build_config(case))
+        results.append((case, metrics, telemetry, verdict))
+        hot = (verdict.hotspots.get("cpu", "")
+               if verdict.label == "cpu-bound"
+               else verdict.hotspots.get("fsync", "")
+               if verdict.label == "fsync-bound" else "")
+        verdict_table.add_row(
+            case.label, case.system, case.op,
+            round(metrics.throughput_kops(), 1), verdict.label,
+            *[round(verdict.scores[k], 2)
+              for k in ("cpu", "fsync", "rpc", "contention")],
+            hot or "-")
+        lines.extend(timeline_lines(case.label, telemetry, verdict))
+    verdict_table.add_note(
+        "scores are steady-window fractions in [0,1]; cpu/fsync are the "
+        "hottest host's busy-fraction, rpc the wire share of latency, "
+        "contention the abort/retry ratio")
+
+    # Export the primary (first) case.
+    case, metrics, telemetry, verdict = results[0]
+    rows = telemetry.export_rows()
+    problems = validate_rows(rows)
+    if problems:
+        raise RuntimeError("telemetry export failed schema validation: "
+                           + "; ".join(problems[:5]))
+    csv_path, json_path = out_base + ".csv", out_base + ".json"
+    row_count = telemetry.write_csv(csv_path)
+    payload = telemetry.write_json(json_path, extra={
+        "experiment": fig,
+        "case": case.label,
+        "scale": scale,
+        "verdict": verdict.label,
+        "scores": verdict.scores,
+        "steady_window_us": list(verdict.window),
+    })
+    latency_table = latency_summary_table(
+        metrics.latency, f"{case.label}: completed-op latency digest")
+    latency_table.add_note(
+        f"wrote {csv_path} ({row_count} rows) and {json_path}")
+    return [verdict_table, latency_table], lines, payload

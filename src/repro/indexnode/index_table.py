@@ -35,6 +35,17 @@ class IndexTable:
         self._by_key: Dict[Tuple[int, str], AccessMeta] = {}
         self._by_id: Dict[int, Tuple[int, str]] = {}
         self._children: Dict[int, set] = {}
+        # Observability: resolution volume and per-level probe work, the
+        # denominator behind cache-efficiency reporting (fig18).
+        self.resolve_calls = 0
+        self.probe_count = 0
+
+    @property
+    def probes_per_resolve(self) -> float:
+        """Mean hash probes per ``resolve_dir`` call (0 when unused)."""
+        if self.resolve_calls == 0:
+            return 0.0
+        return self.probe_count / self.resolve_calls
 
     def __len__(self) -> int:
         return len(self._by_key)
@@ -125,13 +136,18 @@ class IndexTable:
         current = start_id if start_id is not None else self.root_id
         perm = start_perm
         probes = 0
-        for part in parts:
-            meta = self._by_key.get((current, part))
-            probes += 1
-            if meta is None:
-                raise NoSuchPathError(path_for_errors or "/".join(parts), part)
-            perm &= meta.permission
-            current = meta.id
+        self.resolve_calls += 1
+        try:
+            for part in parts:
+                meta = self._by_key.get((current, part))
+                probes += 1
+                if meta is None:
+                    raise NoSuchPathError(
+                        path_for_errors or "/".join(parts), part)
+                perm &= meta.permission
+                current = meta.id
+        finally:
+            self.probe_count += probes
         return current, perm, probes
 
     # -- ancestor walks (rename loop detection, §5.2.2) ------------------------------

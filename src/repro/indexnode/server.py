@@ -64,6 +64,14 @@ class IndexNodeService(Server):
                 yield self.sim.timeout(self.purge_period_us)
                 if self.host.crashed:
                     continue
+                telemetry = self.sim.telemetry
+                if telemetry.enabled:
+                    # Backlog the invalidator is about to drain: rename
+                    # pressure shows up here before cache hit-rate drops.
+                    telemetry.gauge("index.invalidator_queue",
+                                    self.host.name).set(
+                        self.sim._now,
+                        len(self.state.invalidator.removal_list))
                 removed = self.state.invalidator.purge_pending()
                 if removed:
                     tracer = self.sim.tracer
@@ -109,6 +117,19 @@ class IndexNodeService(Server):
         outcome = self.state.lookup(path, want)
         yield from self._charge_lookup(outcome)
         self.lookups_served += 1
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            now = self.sim._now
+            host = self.host.name
+            if outcome.bypassed_cache:
+                telemetry.counter("index.cache_bypass", host).add(now)
+            elif outcome.cache_hit:
+                telemetry.counter("index.cache_hits", host).add(now)
+            else:
+                telemetry.counter("index.cache_misses", host).add(now)
+            if outcome.index_probes:
+                telemetry.counter("index.probes", host).add(
+                    now, outcome.index_probes)
         if span is not None:
             span.annotate(cache_hit=outcome.cache_hit,
                           bypassed_cache=outcome.bypassed_cache,

@@ -400,6 +400,12 @@ class RaftNode:
             self._waiters[entry.index] = waiter
         self.batches_flushed += 1
         self.entries_flushed += len(batch)
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            host = self.host.name
+            telemetry.counter("raft.flushes", host).add(self.sim._now)
+            telemetry.histogram("raft.batch_entries", host).record(
+                self.sim._now, len(batch))
         tracer = self.sim.tracer
         if tracer.enabled:
             span = tracer.begin("raft.flush", self.sim.now, category="raft",
@@ -466,6 +472,13 @@ class RaftNode:
     def _apply_committed(self):
         """Apply every committed-but-unapplied entry to the state machine."""
         applied_any = False
+        telemetry = self.sim.telemetry
+        if telemetry.enabled and self.last_applied < self.commit_index:
+            # Apply lag: how far the state machine trails the commit point
+            # when an apply round starts (batching + fsync pressure show up
+            # here before they show up in client latency).
+            telemetry.histogram("raft.apply_lag", self.host.name).record(
+                self.sim._now, self.commit_index - self.last_applied)
         tracer = self.sim.tracer
         if tracer.enabled and self.last_applied < self.commit_index:
             span = tracer.begin("raft.apply", self.sim.now, category="raft",

@@ -36,6 +36,7 @@ from typing import Any, Callable, Generator, Iterable, List, Optional
 from heapq import heappush as _heappush
 
 import repro.sim.trace as trace_module
+import repro.sim.telemetry as telemetry_module
 
 _PENDING = object()
 
@@ -391,7 +392,8 @@ class Simulator:
     either way, only wall-clock differs.
     """
 
-    def __init__(self, fast_paths: Optional[bool] = None, tracer=None):
+    def __init__(self, fast_paths: Optional[bool] = None, tracer=None,
+                 telemetry=None):
         if fast_paths is None:
             fast_paths = _fast_paths_default()
         self._fast = bool(fast_paths)
@@ -410,6 +412,17 @@ class Simulator:
         #: never creates simulator events, so simulated results are
         #: identical either way.
         self.tracer = tracer
+        if telemetry is None:
+            telemetry = (telemetry_module.Telemetry()
+                         if telemetry_module._telemetry_default()
+                         else telemetry_module.NULL_TELEMETRY)
+        #: Windowed time-series registry consulted by instrumented layers;
+        #: same on/off contract as the tracer — the default is the no-op
+        #: singleton, sites guard on ``telemetry.enabled``, and enabling it
+        #: cannot change simulated results.  Assign a
+        #: :class:`repro.sim.telemetry.Telemetry` (before or during a run)
+        #: to start collecting.
+        self.telemetry = telemetry
 
     @property
     def now(self) -> float:

@@ -77,8 +77,8 @@ class Host:
         self.sim = sim
         self.name = name
         self.cores = cores
-        self.cpu = Resource(sim, cores)
-        self.disk = Resource(sim, 1)
+        self.cpu = Resource(sim, cores, label="cpu", host=name)
+        self.disk = Resource(sim, 1, label="disk", host=name)
         self.fsync_us = fsync_us
         self.fsync_count = 0
         self.cpu_busy_us = 0.0
@@ -101,6 +101,12 @@ class Host:
         try:
             yield Timeout(self.sim, us)
             self.cpu_busy_us += us
+            telemetry = self.sim.telemetry
+            if telemetry.enabled:
+                now = self.sim._now
+                telemetry.counter("host.cpu_busy_us", self.name,
+                                  capacity=self.cores).add_interval(
+                    now - us, now, us)
         finally:
             cpu.release(req)
         if self.crashed:
@@ -119,8 +125,17 @@ class Host:
         try:
             yield self.sim.timeout(self.fsync_us)
             self.fsync_count += 1
+            self._record_fsync(self.fsync_us)
         finally:
             self.disk.release(req)
+
+    def _record_fsync(self, us: float) -> None:
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            now = self.sim._now
+            telemetry.counter("host.fsync", self.name).add(now)
+            telemetry.counter("host.disk_busy_us", self.name,
+                              capacity=1.0).add_interval(now - us, now, us)
 
     def fsync_cost(self, us: float):
         """Charge a caller-specified durable-write cost on the disk.
@@ -136,6 +151,7 @@ class Host:
         try:
             yield self.sim.timeout(us)
             self.fsync_count += 1
+            self._record_fsync(us)
         finally:
             self.disk.release(req)
 

@@ -66,6 +66,13 @@ class Network:
                 host=server.host.name)
         else:
             span = None
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            started_us = self.sim._now
+            telemetry.counter("rpc.count", server.host.name).add(started_us)
+            telemetry.gauge("rpc.in_flight").adjust(started_us, 1.0)
+        else:
+            started_us = None
         yield from self.transit()
         ok = True
         try:
@@ -78,6 +85,12 @@ class Network:
             yield from self.transit()
             if span is not None:
                 tracer.end(span, self.sim.now, ok=ok)
+            if started_us is not None and telemetry.enabled:
+                now = self.sim._now
+                telemetry.gauge("rpc.in_flight").adjust(now, -1.0)
+                telemetry.histogram("rpc.latency_us",
+                                    server.host.name).record(
+                    now, now - started_us)
         return result
 
 

@@ -37,10 +37,13 @@ class Request(Event):
         """Withdraw a not-yet-granted request (e.g. on interrupt)."""
         if self._granted or self.triggered:
             return
+        resource = self.resource
         try:
-            self.resource._waiting.remove(self)
+            resource._waiting.remove(self)
         except ValueError:
-            pass
+            return
+        if resource.label is not None:
+            resource._sample_queue()
 
 
 class Resource:
@@ -59,7 +62,8 @@ class Resource:
     flag on the :class:`Request` itself rather than a per-grant dict entry.
     """
 
-    def __init__(self, sim: Simulator, capacity: int):
+    def __init__(self, sim: Simulator, capacity: int,
+                 label: str = None, host: str = None):
         if capacity < 1:
             raise SimulationError("resource capacity must be >= 1")
         self.sim = sim
@@ -71,6 +75,19 @@ class Resource:
         self.peak_in_use = 0
         self.total_grants = 0
         self.total_wait_time = 0.0
+        # Telemetry identity.  Labelled resources (a host's "cpu"/"disk")
+        # report queue depth and queue waits to ``sim.telemetry`` on the
+        # *contended* paths only; unlabelled resources and the uncontended
+        # grant fast path pay nothing beyond a None check.
+        self.label = label
+        self.host = host
+
+    def _sample_queue(self) -> None:
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            telemetry.gauge("resource.queued." + self.label, self.host,
+                            capacity=self.capacity).set(
+                self.sim._now, len(self._waiting))
 
     @property
     def in_use(self) -> int:
@@ -101,6 +118,8 @@ class Resource:
                 _heappush(sim._queue, (sim._now, sim._seq, req))
         else:
             self._waiting.append(req)
+            if self.label is not None:
+                self._sample_queue()
         return req
 
     def release(self, request: Request) -> None:
@@ -114,10 +133,21 @@ class Resource:
         self._in_use -= 1
         if self._waiting and self._in_use < self.capacity:
             now = self.sim._now
+            wait_hist = None
+            if self.label is not None:
+                telemetry = self.sim.telemetry
+                if telemetry.enabled:
+                    wait_hist = telemetry.histogram(
+                        "resource.wait_us." + self.label, self.host)
             while self._waiting and self._in_use < self.capacity:
                 nxt = self._waiting.popleft()
-                self.total_wait_time += now - nxt._enqueue_time
+                wait = now - nxt._enqueue_time
+                self.total_wait_time += wait
+                if wait_hist is not None:
+                    wait_hist.record(now, wait)
                 self._grant(nxt)
+            if wait_hist is not None:
+                self._sample_queue()
 
     def _grant(self, req: Request) -> None:
         in_use = self._in_use + 1

@@ -102,6 +102,34 @@ class LatencyRecorder:
     def p99(self) -> float:
         return self.p(99)
 
+    @property
+    def p999(self) -> float:
+        return self.p(99.9)
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation (0 for fewer than two samples)."""
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(
+            sum((v - mean) ** 2 for v in self._samples) / n)
+
+    def summary(self) -> Dict[str, float]:
+        """Empty-safe scalar digest (all zeros when no samples)."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p99": self.p99,
+            "p999": self.p999,
+            "max": self.max,
+            "min": self.min,
+            "stddev": self.stddev,
+            "total": self.total,
+        }
+
     def cdf(self, points: int = 100) -> List[Tuple[float, float]]:
         """Return ``points`` (latency, cumulative fraction) pairs."""
         data = self._ensure_sorted()
@@ -202,6 +230,12 @@ class MetricSet:
         self.latency: Dict[str, LatencyRecorder] = {}
         self.phase_latency: Dict[Tuple[str, str], LatencyRecorder] = {}
         self.rpc_rounds: Dict[str, LatencyRecorder] = {}
+        # Failed operations' measurements, recorded in parallel so the work
+        # spent on failures is not silently dropped (telemetry and trace
+        # views then agree on total work).
+        self.failed_latency: Dict[str, LatencyRecorder] = {}
+        self.failed_phase_latency: Dict[Tuple[str, str], LatencyRecorder] = {}
+        self.failed_rpc_rounds: Dict[str, LatencyRecorder] = {}
         self.ops_completed = 0
         self.ops_failed = 0
         self.retries = 0
@@ -222,6 +256,20 @@ class MetricSet:
     def record_failure(self, ctx: OpContext) -> None:
         self.ops_failed += 1
         self.retries += ctx.retries
+        op = ctx.op
+        self.failed_latency.setdefault(op, LatencyRecorder(op)).add(
+            ctx.latency)
+        self.failed_rpc_rounds.setdefault(op, LatencyRecorder(op)).add(
+            float(ctx.rpcs))
+        if ctx.phases:
+            for phase, spent in ctx.phases.items():
+                key = (op, phase)
+                self.failed_phase_latency.setdefault(
+                    key, LatencyRecorder(op)).add(spent)
+
+    def failed_mean_latency_us(self, op: str) -> float:
+        rec = self.failed_latency.get(op)
+        return rec.mean if rec else 0.0
 
     @property
     def duration_us(self) -> float:

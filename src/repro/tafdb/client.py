@@ -62,9 +62,24 @@ class TafDBClient:
         return (self.client_id << 24) | self._ts_seq
 
     def backoff_us(self, attempt: int) -> float:
-        """Exponential backoff schedule for transaction retries."""
+        """Exponential backoff schedule for transaction retries.
+
+        Called by the operation layer once per retry, which makes it the
+        one central place to count retries in the telemetry timeline.
+        """
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            telemetry.counter("tafdb.retries").add(self.sim._now)
         delay = self.costs.backoff_base_us * (2 ** min(attempt, 10))
         return min(delay, self.costs.backoff_max_us)
+
+    def _count_txn(self, outcome: str) -> None:
+        """Per-window transaction outcome counters: ``tafdb.commits`` or
+        ``tafdb.aborts.<cause>`` (cause as reported by the shard: "lock
+        held", "exists", "missing", "version")."""
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            telemetry.counter(outcome).add(self.sim._now)
 
     # -- routing ----------------------------------------------------------------
 
@@ -146,20 +161,24 @@ class TafDBClient:
                     server, "execute", shard_id, txn_id, shard_intents, ctx=ctx)
             except TransactionAbort as exc:
                 self.txn_aborts += 1
+                self._count_txn("tafdb.aborts." + exc.reason)
                 if span is not None:
                     span.annotate(abort_reason=exc.reason)
                     tracer.end(span, self.sim.now, ok=False)
                 raise
+            self._count_txn("tafdb.commits")
             if span is not None:
                 tracer.end(span, self.sim.now)
             return
         try:
             yield from self._two_phase_commit(txn_id, by_shard, ctx, span)
         except TransactionAbort as exc:
+            self._count_txn("tafdb.aborts." + exc.reason)
             if span is not None:
                 span.annotate(abort_reason=exc.reason)
                 tracer.end(span, self.sim.now, ok=False)
             raise
+        self._count_txn("tafdb.commits")
         if span is not None:
             tracer.end(span, self.sim.now)
 

@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.bench.report import Table, format_table, print_tables, ratio
+from repro.bench.report import (
+    SUMMARY_COLUMNS,
+    Table,
+    format_table,
+    latency_summary_table,
+    print_tables,
+    ratio,
+)
+from repro.sim.stats import LatencyRecorder
 
 
 class TestTable:
@@ -54,6 +62,27 @@ class TestTable:
         assert "1,235" in rendered or "1,234" in rendered
         assert "42.4" in rendered
         assert "0.123" in rendered
+
+
+class TestLatencySummaryTable:
+    def test_one_row_per_recorder_sorted(self):
+        fast = LatencyRecorder("a")
+        fast.extend([1.0, 2.0])
+        slow = LatencyRecorder("b")
+        slow.extend([10.0, 30.0])
+        table = latency_summary_table({"b-op": slow, "a-op": fast},
+                                      "digest", label="case")
+        assert list(table.headers)[0] == "case"
+        assert len(table.headers) == 1 + len(SUMMARY_COLUMNS)
+        assert [row[0] for row in table.rows] == ["a-op", "b-op"]
+        mean_col = table.column("mean us")
+        assert mean_col == [1.5, 20.0]
+
+    def test_empty_recorder_renders_zero_row(self):
+        table = latency_summary_table({"empty": LatencyRecorder()}, "t")
+        (row,) = table.rows
+        assert row[0] == "empty"
+        assert all(v == 0.0 for v in row[1:])
 
 
 class TestHelpers:

@@ -110,6 +110,22 @@ class TestFastPathDeterminism:
         traced = _mdtest_fingerprint()
         assert untraced == traced
 
+    def test_telemetry_does_not_change_results(self, monkeypatch):
+        """Windowed telemetry is pure bookkeeping: identical results."""
+        monkeypatch.delenv("MANTLE_TELEMETRY", raising=False)
+        off = _mdtest_fingerprint()
+        monkeypatch.setenv("MANTLE_TELEMETRY", "1")
+        on = _mdtest_fingerprint()
+        assert off == on
+
+    def test_telemetry_identical_on_legacy_kernel(self, monkeypatch):
+        monkeypatch.setenv("MANTLE_SIM_FAST", "0")
+        monkeypatch.delenv("MANTLE_TELEMETRY", raising=False)
+        off = _mdtest_fingerprint()
+        monkeypatch.setenv("MANTLE_TELEMETRY", "1")
+        on = _mdtest_fingerprint()
+        assert off == on
+
     def test_fig12_quick_identical_across_runs_and_kernels(self, monkeypatch):
         first = _fig12_rows()
         second = _fig12_rows()

@@ -61,6 +61,27 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["run", "fig03", "--scale", "gigantic"])
 
+    def test_telemetry_command(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["telemetry", "fig12", "--clients", "8",
+                     "--items", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "saturation verdicts" in out
+        assert "cpu tafdb-0" in out  # per-host CPU timeline
+        csv_text = (tmp_path / "telemetry_fig12.csv").read_text()
+        assert csv_text.startswith(
+            "metric,kind,host,window_start_us,value,count,max,capacity")
+        import json
+
+        payload = json.loads((tmp_path / "telemetry_fig12.json").read_text())
+        assert payload["experiment"] == "fig12"
+        assert payload["verdict"]
+        assert payload["rows"]
+
+    def test_telemetry_command_rejects_unknown_fig(self):
+        with pytest.raises(SystemExit):
+            main(["telemetry", "fig03"])
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])

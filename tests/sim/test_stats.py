@@ -88,6 +88,38 @@ class TestLatencyRecorder:
         rec.add(0.0)
         assert rec.p50 == 5.0
 
+    def test_p999_separates_extreme_tail(self):
+        rec = LatencyRecorder()
+        rec.extend([1.0] * 999)
+        rec.add(1000.0)
+        assert rec.p99 == 1.0
+        assert rec.p999 > 1.0
+
+    def test_stddev(self):
+        rec = LatencyRecorder()
+        rec.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert rec.stddev == pytest.approx(2.0)
+        single = LatencyRecorder()
+        single.add(5.0)
+        assert single.stddev == 0.0
+
+    def test_summary_digest(self):
+        rec = LatencyRecorder()
+        rec.extend([1.0, 3.0])
+        digest = rec.summary()
+        assert digest["count"] == 2.0
+        assert digest["mean"] == 2.0
+        assert digest["p50"] == 2.0
+        assert digest["max"] == 3.0
+        assert digest["total"] == 4.0
+        assert digest["stddev"] == pytest.approx(1.0)
+
+    def test_summary_empty_safe(self):
+        digest = LatencyRecorder().summary()
+        assert set(digest) == {"count", "mean", "p50", "p99", "p999",
+                               "max", "min", "stddev", "total"}
+        assert all(v == 0.0 for v in digest.values())
+
 
 class TestOpContext:
     def test_phase_accounting(self):
@@ -160,3 +192,18 @@ class TestMetricSet:
         assert ms.ops_failed == 1
         assert ms.retries == 4
         assert ms.ops_completed == 0
+
+    def test_failed_ops_keep_their_measurements(self):
+        """record_failure must not drop the context's latency/rpcs/phases;
+        they land in the parallel failed_* recorders."""
+        ms = MetricSet()
+        ctx = self._ctx("mkdir", 0.0, 40.0, rpcs=3,
+                        phases={PHASE_LOOKUP: 12.0})
+        ms.record_failure(ctx)
+        assert ms.failed_mean_latency_us("mkdir") == 40.0
+        assert ms.failed_latency["mkdir"].count == 1
+        assert ms.failed_rpc_rounds["mkdir"].mean == 3.0
+        assert ms.failed_phase_latency[("mkdir", PHASE_LOOKUP)].mean == 12.0
+        # The success-side recorders stay untouched.
+        assert "mkdir" not in ms.latency
+        assert ms.failed_mean_latency_us("missing") == 0.0
