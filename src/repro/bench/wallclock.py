@@ -161,6 +161,17 @@ PR2_BASELINE_EVENTS_PER_S: Dict[str, float] = {
     "anyof_fanout": 737417.1,
 }
 
+#: events/s at the end of PR-3 (commit ce2e389, windowed telemetry merged;
+#: same container, repeats=5).  The profiler PR must keep the
+#: instrumentation-off kernel within 5% of these — ``--assert-vs-pr3 0.05``
+#: is the CI gate.
+PR3_BASELINE_EVENTS_PER_S: Dict[str, float] = {
+    "timeout_churn": 774775.0,
+    "immediate_resume": 3450628.0,
+    "resource_pingpong": 967781.0,
+    "anyof_fanout": 841207.0,
+}
+
 
 def run_kernel_benches(repeats: int = 3) -> Dict[str, Dict[str, float]]:
     """Run every kernel microbench, keeping the best of ``repeats`` runs."""
@@ -189,6 +200,9 @@ def run_kernel_benches(repeats: int = 3) -> Dict[str, Dict[str, float]]:
         pr2 = PR2_BASELINE_EVENTS_PER_S.get(name)
         if pr2:
             results[name]["speedup_vs_pr2"] = round(best_rate / pr2, 3)
+        pr3 = PR3_BASELINE_EVENTS_PER_S.get(name)
+        if pr3:
+            results[name]["speedup_vs_pr3"] = round(best_rate / pr3, 3)
     return results
 
 
@@ -236,6 +250,39 @@ def measure_tracing_overhead(clients: int = 24,
         "overhead_ratio": round(traced_s / untraced_s, 3) if untraced_s
         else 0.0,
         "spans": len(tracer.spans),
+    }
+
+
+def measure_profiling_overhead(clients: int = 24,
+                               items: int = 8) -> Dict[str, float]:
+    """Wall-clock cost of cost-attribution profiling on one mdtest run.
+
+    Profiling = span tracing + per-process span stacks + cost charges +
+    the telemetry busy counters the reconciliation check needs, i.e. the
+    full ``mantle-exp profile`` instrumentation, against the identical
+    uninstrumented workload.  The simulated results are bit-identical
+    either way (pinned by the determinism tests); this also times the
+    profile fold itself.
+    """
+    from repro.experiments.base import (mdtest_metrics,
+                                        mdtest_metrics_profiled)
+    from repro.sim.profile import profile_from_tracer
+
+    start = time.perf_counter()
+    mdtest_metrics("mantle", "mkdir", clients=clients, items=items)
+    off_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    _, tracer, _ = mdtest_metrics_profiled("mantle", "mkdir",
+                                           clients=clients, items=items)
+    profile = profile_from_tracer(tracer)
+    on_s = time.perf_counter() - start
+    return {
+        "profiling_off_s": round(off_s, 4),
+        "profiling_on_s": round(on_s, 4),
+        "overhead_ratio": round(on_s / off_s, 3) if off_s else 0.0,
+        "spans": profile.span_count,
+        "centers": len(profile.centers),
     }
 
 
@@ -311,6 +358,11 @@ def main(argv=None) -> int:
                         help="fail if the telemetry-off kernel geomean drops "
                              "more than FRAC (e.g. 0.05) below the PR-2 "
                              "baseline")
+    parser.add_argument("--assert-vs-pr3", type=float, default=None,
+                        metavar="FRAC",
+                        help="fail if the instrumentation-off kernel geomean "
+                             "drops more than FRAC (e.g. 0.05) below the "
+                             "PR-3 baseline")
     parser.add_argument("--skip-overhead", action="store_true",
                         help="skip the traced-vs-untraced workload timing")
     args = parser.parse_args(argv)
@@ -337,6 +389,10 @@ def main(argv=None) -> int:
         geomean_speedup(report["kernel"], key="speedup_vs_pr2"), 3)
     report["kernel_geomean_speedup_vs_pr2"] = geomean_pr2
     print(f"kernel geomean speedup vs PR-2: {geomean_pr2:.2f}x")
+    geomean_pr3 = round(
+        geomean_speedup(report["kernel"], key="speedup_vs_pr3"), 3)
+    report["kernel_geomean_speedup_vs_pr3"] = geomean_pr3
+    print(f"kernel geomean speedup vs PR-3: {geomean_pr3:.2f}x")
 
     failed = False
     if args.assert_vs_pr1 is not None:
@@ -357,6 +413,15 @@ def main(argv=None) -> int:
             failed = True
         else:
             print(f"assert-vs-pr2 OK: {geomean_pr2:.3f}x >= {floor:.2f}x")
+    if args.assert_vs_pr3 is not None:
+        floor = 1.0 - args.assert_vs_pr3
+        if geomean_pr3 < floor:
+            print(f"FAIL: kernel geomean {geomean_pr3:.3f}x vs PR-3 is "
+                  f"below the {floor:.2f}x floor "
+                  f"(>{args.assert_vs_pr3:.0%} regression)", file=sys.stderr)
+            failed = True
+        else:
+            print(f"assert-vs-pr3 OK: {geomean_pr3:.3f}x >= {floor:.2f}x")
 
     if not args.skip_overhead:
         overhead = measure_tracing_overhead()
@@ -371,6 +436,14 @@ def main(argv=None) -> int:
               f"({telemetry_cost['telemetry_off_s']:.2f}s -> "
               f"{telemetry_cost['telemetry_on_s']:.2f}s, "
               f"{telemetry_cost['instruments']} instruments)")
+        profiling_cost = measure_profiling_overhead()
+        report["profiling_overhead"] = profiling_cost
+        print(f"profiling overhead    "
+              f"{profiling_cost['overhead_ratio']:.2f}x wall "
+              f"({profiling_cost['profiling_off_s']:.2f}s -> "
+              f"{profiling_cost['profiling_on_s']:.2f}s, "
+              f"{profiling_cost['spans']} spans, "
+              f"{profiling_cost['centers']} centers)")
 
     if not args.skip_suite:
         suite: Dict[str, object] = {"serial": time_quick_suite(

@@ -59,6 +59,7 @@ class MantleSystem(MetadataSystem):
         if self.config.tracing and not sim.tracer.enabled:
             from repro.sim.trace import Tracer
             sim.tracer = Tracer()
+            sim.tracer.bind(sim)
         if self.config.telemetry and not sim.telemetry.enabled:
             from repro.sim.telemetry import Telemetry
             sim.telemetry = Telemetry(

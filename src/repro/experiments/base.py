@@ -27,13 +27,26 @@ class Experiment:
     #: Whether ``runner`` takes a ``jobs`` keyword (sweep-style experiments
     #: that can fan per-point simulators across worker processes).
     accepts_jobs: bool = False
+    #: Whether ``runner`` takes a ``check_profile`` keyword (breakdown
+    #: experiments that can cross-check their columns against the cost
+    #: profiler).
+    accepts_check_profile: bool = False
 
-    def run(self, scale: str = "quick", jobs: int = 1) -> List[Table]:
+    def run(self, scale: str = "quick", jobs: int = 1,
+            check_profile: bool = False) -> List[Table]:
         if scale not in SCALES:
             raise ValueError(f"scale must be one of {SCALES}")
+        if check_profile and not self.accepts_check_profile:
+            raise ValueError(
+                f"{self.id} does not support --check-profile; supported: "
+                + ", ".join(e.id for e in list_experiments()
+                            if e.accepts_check_profile))
+        kwargs = {}
         if self.accepts_jobs:
-            return self.runner(scale, jobs=jobs)
-        return self.runner(scale)
+            kwargs["jobs"] = jobs
+        if self.accepts_check_profile:
+            kwargs["check_profile"] = check_profile
+        return self.runner(scale, **kwargs)
 
 
 REGISTRY: Dict[str, Experiment] = {}
@@ -42,15 +55,18 @@ REGISTRY: Dict[str, Experiment] = {}
 def register(exp_id: str, title: str, paper_claim: str):
     """Decorator registering a ``run(scale) -> List[Table]`` function.
 
-    Runners may additionally accept a ``jobs`` keyword; the registry detects
-    it so ``Experiment.run(..., jobs=N)`` only forwards it where supported.
+    Runners may additionally accept ``jobs`` and/or ``check_profile``
+    keywords; the registry detects them so ``Experiment.run`` only forwards
+    what each runner supports.
     """
     def decorate(func):
         if exp_id in REGISTRY:
             raise ValueError(f"duplicate experiment id {exp_id!r}")
-        accepts_jobs = "jobs" in inspect.signature(func).parameters
-        REGISTRY[exp_id] = Experiment(exp_id, title, paper_claim, func,
-                                      accepts_jobs)
+        params = inspect.signature(func).parameters
+        REGISTRY[exp_id] = Experiment(
+            exp_id, title, paper_claim, func,
+            accepts_jobs="jobs" in params,
+            accepts_check_profile="check_profile" in params)
         return func
     return decorate
 
@@ -127,11 +143,46 @@ def mdtest_metrics_traced(system_name: str, op: str, mode: str = "exclusive",
     system = build_system(system_name, cluster_scale or "quick",
                           **build_overrides)
     tracer = Tracer()
+    tracer.bind(system.sim)
     system.sim.tracer = tracer
     try:
         workload = MdtestWorkload(op, mode=mode, depth=depth, items=items,
                                   num_clients=clients)
         return run_workload(system, workload), tracer
+    finally:
+        system.shutdown()
+
+
+def mdtest_metrics_profiled(system_name: str, op: str,
+                            mode: str = "exclusive", clients: int = 32,
+                            items: int = 10, depth: int = 10,
+                            cluster_scale: Optional[str] = None,
+                            config=None, **build_overrides):
+    """Like :func:`mdtest_metrics`, but instrumented for cost profiling.
+
+    Attaches both a bound :class:`~repro.sim.trace.Tracer` (span stacks +
+    cost charges) and a :class:`~repro.sim.telemetry.Telemetry` (the busy
+    counters the profiler's CPU attribution must reconcile against) and
+    returns ``(metrics, tracer, telemetry)``.  Both are pure bookkeeping,
+    so the metrics stay bit-identical to an uninstrumented run.
+    """
+    from repro.sim.telemetry import Telemetry
+    from repro.sim.trace import Tracer
+
+    if config is not None:
+        build_overrides["config"] = config
+    system = build_system(system_name, cluster_scale or "quick",
+                          **build_overrides)
+    tracer = Tracer()
+    tracer.bind(system.sim)
+    system.sim.tracer = tracer
+    telemetry = Telemetry()
+    system.sim.telemetry = telemetry
+    try:
+        workload = MdtestWorkload(op, mode=mode, depth=depth, items=items,
+                                  num_clients=clients)
+        metrics = run_workload(system, workload)
+        return metrics, tracer, telemetry
     finally:
         system.shutdown()
 

@@ -7,6 +7,7 @@ Usage::
     mantle-exp all [--scale quick|full] [--jobs N]
     mantle-exp trace fig15 [--scale quick|full] [--out trace_fig15.json]
     mantle-exp telemetry fig14 [--scale quick|full] [--out telemetry_fig14]
+    mantle-exp profile fig12 [--diff mantle infinifs] [--top N]
 
 ``run --jobs N`` fans a sweep experiment's per-point simulators across N
 worker processes; ``all --jobs N`` runs whole experiments concurrently.
@@ -20,6 +21,11 @@ span-derived tables against the legacy counters (must agree within 1%).
 ``telemetry`` reruns a figure's knee points with windowed telemetry on,
 prints the saturation analyzer's verdicts plus per-host CPU / cache
 hit-ratio timelines, and exports the per-window series as CSV + JSON.
+
+``profile`` reruns a figure's knee point (or a bare mdtest op) with cost
+attribution on, prints per-system top self-time tables, writes
+flamegraph.pl + speedscope exports, and with ``--diff A B`` prints the
+signed per-op cost deltas between two systems with mechanism notes.
 """
 
 from __future__ import annotations
@@ -44,10 +50,12 @@ def _cmd_list(_args) -> int:
     return 0
 
 
-def _run_one(exp_id: str, scale: str, json_path=None, jobs: int = 1) -> None:
+def _run_one(exp_id: str, scale: str, json_path=None, jobs: int = 1,
+             check_profile: bool = False) -> None:
     experiment = get_experiment(exp_id)
     started = time.time()
-    tables = experiment.run(scale=scale, jobs=jobs)
+    tables = experiment.run(scale=scale, jobs=jobs,
+                            check_profile=check_profile)
     header = (f"### {experiment.id}: {experiment.title} "
               f"(scale={scale}, {time.time() - started:.1f}s wall)")
     print_tables(tables, header=header)
@@ -66,7 +74,7 @@ def _run_one(exp_id: str, scale: str, json_path=None, jobs: int = 1) -> None:
 
 def _cmd_run(args) -> int:
     _run_one(args.experiment, args.scale, json_path=args.json,
-             jobs=args.jobs)
+             jobs=args.jobs, check_profile=args.check_profile)
     return 0
 
 
@@ -123,6 +131,29 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.experiments.profilecmd import run_profile, run_profile_diff
+
+    started = time.time()
+    if args.diff:
+        base_system, other_system = args.diff
+        tables, artifacts = run_profile_diff(
+            base_system, other_system, args.experiment, scale=args.scale,
+            out_base=args.out, clients=args.clients, items=args.items,
+            top=args.top)
+    else:
+        tables, artifacts = run_profile(
+            args.experiment, scale=args.scale, out_base=args.out,
+            systems=args.systems, clients=args.clients, items=args.items,
+            top=args.top)
+    spans = sum(a["profile"].span_count for a in artifacts)
+    header = (f"### profile {args.experiment} (scale={args.scale}, "
+              f"{len(artifacts)} systems, {spans} spans, "
+              f"{time.time() - started:.1f}s wall)")
+    print_tables(tables, header=header)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="mantle-exp",
@@ -137,6 +168,10 @@ def main(argv=None) -> int:
                             help="fan sweep points across N worker processes")
     run_parser.add_argument("--json", metavar="PATH", default=None,
                             help="also write the tables as JSON")
+    run_parser.add_argument("--check-profile", action="store_true",
+                            help="re-derive breakdown columns from the "
+                                 "cost profiler and assert agreement "
+                                 "(fig13/fig15)")
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--scale", choices=("quick", "full"),
                             default="quick")
@@ -167,9 +202,36 @@ def main(argv=None) -> int:
     telemetry_parser.add_argument("--window-us", type=float, default=None,
                                   help="telemetry window in simulated us "
                                        "(default 1000 quick / 10000 full)")
+    profile_parser = sub.add_parser(
+        "profile",
+        help="rerun a knee point with cost attribution; export flame "
+             "graphs")
+    profile_parser.add_argument(
+        "experiment",
+        help="figure id (fig12/fig14/fig19) or mdtest op (objstat, "
+             "mkdir, ...)")
+    profile_parser.add_argument("--scale", choices=("quick", "full"),
+                                default="quick")
+    profile_parser.add_argument("--diff", nargs=2, default=None,
+                                metavar=("BASE", "OTHER"),
+                                help="profile two systems and print the "
+                                     "per-frame cost deltas")
+    profile_parser.add_argument("--systems", nargs="+", default=None,
+                                metavar="SYSTEM",
+                                help="override the systems to profile")
+    profile_parser.add_argument("--out", metavar="BASE", default="",
+                                help="output base path "
+                                     "(default profile_<experiment>)")
+    profile_parser.add_argument("--clients", type=int, default=None,
+                                help="override the case's client count")
+    profile_parser.add_argument("--items", type=int, default=None,
+                                help="override ops per client")
+    profile_parser.add_argument("--top", type=int, default=12,
+                                help="rows per self-time / diff table")
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
-                "trace": _cmd_trace, "telemetry": _cmd_telemetry}
+                "trace": _cmd_trace, "telemetry": _cmd_telemetry,
+                "profile": _cmd_profile}
     return handlers[args.command](args)
 
 

@@ -1,0 +1,44 @@
+"""Shared export plumbing for the ``mantle-exp`` artifact subcommands.
+
+``trace``, ``telemetry`` and ``profile`` all follow the same contract:
+derive a default output path from the subcommand + target name, schema-
+validate the payload *before* writing (a malformed artifact should fail
+the run, not surface later in a viewer), and write JSON with a trailing
+newline.  This module is that contract, extracted so the three commands
+cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+
+def default_out(kind: str, name: str, suffix: str = "") -> str:
+    """Default artifact path ``<kind>_<name><suffix>`` (cwd-relative).
+
+    ``name`` is sanitised so figure/op labels can never escape into
+    directory separators or break shell quoting.
+    """
+    safe = name.replace("/", "_").replace(" ", "_")
+    return f"{kind}_{safe}{suffix}"
+
+
+def ensure_valid(problems: Sequence[str], what: str,
+                 limit: int = 5) -> None:
+    """Raise ``RuntimeError`` summarising validator ``problems``, if any."""
+    if not problems:
+        return
+    shown = "; ".join(problems[:limit])
+    extra = len(problems) - limit
+    if extra > 0:
+        shown += f" (+{extra} more)"
+    raise RuntimeError(f"{what} failed schema validation: {shown}")
+
+
+def write_json_payload(path: str, payload: Any, indent: int = 1) -> Any:
+    """Write ``payload`` as JSON to ``path``; returns the payload."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=indent, default=str)
+        handle.write("\n")
+    return payload

@@ -4,6 +4,13 @@ Paper: performance of these operations is determined by path resolution —
 Mantle's lookup latency is 83.9-89.0 % below Tectonic, 80.0-84.2 % below
 InfiniFS and 16.4-74.5 % below LocoFS.  InfiniFS folds objstat's execution
 into its lookup phase; LocoFS resolves directory-op paths during execution.
+
+``--check-profile`` reruns each point with the cost profiler's span stacks
+attached and re-derives the lookup/execution columns from the *dynamic*
+span tree (:func:`repro.sim.profile.dynamic_phase_breakdown`), asserting
+both derivations agree within :data:`CHECK_TOLERANCE` — the same
+cross-check pattern PR 2 established between spans and the legacy phase
+counters.
 """
 
 from __future__ import annotations
@@ -12,27 +19,65 @@ from typing import List
 
 from repro.bench.cluster import SYSTEMS
 from repro.bench.report import Table, ratio
-from repro.experiments.base import mdtest_metrics, pick, register
+from repro.experiments.base import (
+    mdtest_metrics,
+    mdtest_metrics_traced,
+    pick,
+    register,
+)
 from repro.sim.stats import PHASE_EXECUTION, PHASE_LOOKUP
 
 OPS = ("create", "delete", "objstat", "dirstat")
+
+#: Max relative disagreement between the metric-derived and
+#: profiler-derived phase means (both fold the same begin/end pairs, so
+#: the observed error is floating-point noise).
+CHECK_TOLERANCE = 0.01
+
+
+def _check_point(op: str, system_name: str, phases, spans,
+                 checks: Table) -> None:
+    """Assert the profiler re-derivation matches ``metrics`` phase means."""
+    from repro.sim.profile import dynamic_phase_breakdown
+
+    derived = dynamic_phase_breakdown(spans).get(op, {})
+    for phase in (PHASE_LOOKUP, PHASE_EXECUTION):
+        expected = phases[phase]
+        got = derived.get(phase, 0.0)
+        err = abs(got - expected) / max(abs(expected), 1e-9)
+        if err > CHECK_TOLERANCE:
+            raise RuntimeError(
+                f"fig13 {op}/{system_name}: profiler-derived {phase} mean "
+                f"{got:.3f}us diverges from metric {expected:.3f}us "
+                f"({err:.2%} > {CHECK_TOLERANCE:.0%})")
+        checks.add_row(op, system_name, phase, round(expected, 2),
+                       round(got, 2), f"{err:.4%}")
 
 
 @register("fig13", "Latency breakdown of object ops and directory reads",
           "Mantle's lookup latency 83.9-89.0%/80.0-84.2%/16.4-74.5% lower "
           "than Tectonic/InfiniFS/LocoFS")
-def run(scale: str = "quick") -> List[Table]:
+def run(scale: str = "quick", check_profile: bool = False) -> List[Table]:
     clients = pick(scale, 64, 192)
     items = pick(scale, 12, 30)
     table = Table(
         "Figure 13: mean per-phase latency (us)",
         ["op", "system", "lookup", "execution", "total"])
+    checks = Table(
+        "Figure 13 profiler cross-check (phase means, us)",
+        ["op", "system", "phase", "metric", "profiler", "rel err"])
     lookup_by = {}
     for op in OPS:
         for system_name in SYSTEMS:
-            metrics = mdtest_metrics(system_name, op, clients=clients,
-                                     items=items)
+            if check_profile:
+                metrics, tracer = mdtest_metrics_traced(
+                    system_name, op, clients=clients, items=items)
+            else:
+                metrics = mdtest_metrics(system_name, op, clients=clients,
+                                         items=items)
             phases = metrics.phase_breakdown(op)
+            if check_profile:
+                _check_point(op, system_name, phases, tracer.spans, checks)
             lookup_by[(op, system_name)] = phases[PHASE_LOOKUP]
             table.add_row(op, system_name,
                           round(phases[PHASE_LOOKUP], 1),
@@ -51,4 +96,9 @@ def run(scale: str = "quick") -> List[Table]:
     reductions.add_note("paper ranges: 83.9-89.0 / 80.0-84.2 / 16.4-74.5; "
                         "LocoFS folds dir-op resolution into execution, so "
                         "its dirstat lookup column reads 0")
-    return [table, reductions]
+    tables = [table, reductions]
+    if check_profile:
+        checks.add_note(f"every phase mean re-derived from the dynamic "
+                        f"span tree agrees within {CHECK_TOLERANCE:.0%}")
+        tables.append(checks)
+    return tables

@@ -11,6 +11,12 @@ case runs traced, and the table aggregates ``phase``-category spans under
 each successful operation's root span.  The legacy counters still exist (the
 phase API is a shim over spans) and ``mantle-exp trace fig15`` cross-checks
 both derivations agree within 1%.
+
+``--check-profile`` adds a third, independent derivation: the cost
+profiler's *dynamic* span tree
+(:func:`repro.sim.profile.dynamic_phase_breakdown`, keyed on
+``dyn_parent_id`` rather than the declared ``parent_id``) must reproduce
+the same phase means within :data:`CHECK_TOLERANCE`.
 """
 
 from __future__ import annotations
@@ -25,6 +31,45 @@ from repro.sim.trace import aggregate_ops
 
 CASES = (("mkdir", "exclusive"), ("mkdir", "shared"),
          ("dirrename", "exclusive"), ("dirrename", "shared"))
+
+#: Max relative disagreement between the span-derived columns and the
+#: profiler's dynamic-tree re-derivation.
+CHECK_TOLERANCE = 0.01
+
+
+def check_profile_table(artifacts: List[Dict]) -> Table:
+    """Re-derive every case's phase means from the dynamic span tree.
+
+    Raises ``RuntimeError`` on the first case where the profiler's
+    derivation diverges from the declared-tree aggregation by more than
+    :data:`CHECK_TOLERANCE`.
+    """
+    from repro.sim.profile import dynamic_phase_breakdown
+
+    checks = Table(
+        "Figure 15 profiler cross-check (phase means, us)",
+        ["case", "phase", "span-derived", "profiler", "rel err"])
+    for artifact in artifacts:
+        op = artifact["op"]
+        agg = aggregate_ops(artifact["tracer"].spans)[op]
+        derived = dynamic_phase_breakdown(
+            artifact["tracer"].spans).get(op, {})
+        for phase in (PHASE_LOOKUP, PHASE_LOOP_DETECT, PHASE_EXECUTION):
+            expected = agg.mean_phase_us(phase)
+            got = derived.get(phase, 0.0)
+            err = abs(got - expected) / max(abs(expected), 1e-9)
+            if err > CHECK_TOLERANCE:
+                raise RuntimeError(
+                    f"fig15 {artifact['label']}: profiler-derived {phase} "
+                    f"mean {got:.3f}us diverges from span-derived "
+                    f"{expected:.3f}us ({err:.2%} > "
+                    f"{CHECK_TOLERANCE:.0%})")
+            checks.add_row(artifact["label"], phase, round(expected, 2),
+                           round(got, 2), f"{err:.4%}")
+    checks.add_note(f"declared-tree aggregation vs dynamic-tree "
+                    f"re-derivation agree within {CHECK_TOLERANCE:.0%} "
+                    f"for every case")
+    return checks
 
 
 def run_traced(scale: str = "quick") -> Tuple[List[Table], List[Dict]]:
@@ -71,6 +116,8 @@ def run_traced(scale: str = "quick") -> Tuple[List[Table], List[Dict]]:
 @register("fig15", "Latency breakdown of directory modifications",
           "loop detection only for renames (not Tectonic); Mantle merges "
           "rename lookup into loop detection")
-def run(scale: str = "quick") -> List[Table]:
-    tables, _artifacts = run_traced(scale)
+def run(scale: str = "quick", check_profile: bool = False) -> List[Table]:
+    tables, artifacts = run_traced(scale)
+    if check_profile:
+        tables.append(check_profile_table(artifacts))
     return tables

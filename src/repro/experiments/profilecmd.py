@@ -1,0 +1,274 @@
+"""``mantle-exp profile`` — cost-center profiles and differential profiles.
+
+Reruns a figure's knee point (or a bare mdtest op) with cost attribution
+on, then per system
+
+* prints a top-N self-time table — (frame, cost-kind) centers ranked by
+  attributed simulated microseconds, normalised per completed op,
+* writes ``profile_<target>_<system>.folded`` (flamegraph.pl input) and
+  ``profile_<target>_<system>.speedscope.json`` (https://speedscope.app),
+  both schema-validated before the command succeeds, and
+* reconciles the profiler's per-host CPU self-time against telemetry's
+  ``host.cpu_busy_us`` counters (same charge sites, so they must agree
+  within :data:`RECONCILE_TOLERANCE` — observed error is 0).
+
+``--diff A B`` profiles the same point on two systems and aligns the
+profiles by (frame, kind), printing signed per-op deltas plus a mechanism
+note for the frames the repo understands — e.g. at the fig12 knee the top
+rows name InfiniFS's per-level ``rpc:read`` resolution round trips versus
+Mantle's single server-side ``index.lookup``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.report import Table
+from repro.experiments.base import mdtest_metrics_profiled, pick
+from repro.experiments.exportutil import default_out, ensure_valid
+from repro.sim.profile import (
+    CostProfile,
+    diff_profiles,
+    profile_from_tracer,
+    validate_folded,
+    validate_speedscope,
+    write_folded,
+    write_speedscope,
+)
+
+#: Max relative disagreement between profiler CPU and telemetry busy
+#: counters (they share charge sites; observed error is exactly 0).
+RECONCILE_TOLERANCE = 0.01
+
+
+@dataclasses.dataclass(frozen=True)
+class Case:
+    """One profiled sweep point: the op plus (quick, full) budgets."""
+
+    op: str
+    mode: str = "exclusive"
+    clients: Tuple[int, int] = (32, 128)
+    items: Tuple[int, int] = (10, 30)
+    systems: Tuple[str, ...] = ("mantle", "tectonic")
+
+
+#: figure id -> its knee point (budgets mirror ``mantle-exp telemetry``).
+CASES: Dict[str, Case] = {
+    # Fig 12 knee: stat scaling — baselines burn per-level resolution
+    # RPCs/CPU, Mantle resolves server-side in one hop.
+    "fig12": Case("objstat", clients=(64, 192), items=(12, 30),
+                  systems=("mantle", "tectonic", "infinifs")),
+    # Fig 14 knee: shared-directory mkdir — transaction conflicts and
+    # fsync pressure dominate.
+    "fig14": Case("mkdir", mode="shared", clients=(64, 160),
+                  items=(10, 24), systems=("mantle", "tectonic")),
+    # Fig 19 knee: create at high client counts rides the TafDB commit
+    # fsync floor.
+    "fig19": Case("create", clients=(320, 640), items=(10, 20),
+                  systems=("mantle",)),
+}
+
+#: Bare mdtest ops accepted as targets (any system pair can be profiled).
+OPS = ("mkdir", "create", "objstat", "dirstat", "delete", "rmdir")
+
+#: Frame -> the mechanism it represents, used to annotate diff rows so a
+#: delta names a cause instead of a label.
+MECHANISMS: Dict[str, str] = {
+    "rpc:lookup": "pathname-resolution round trip (one per op on Mantle; "
+                  "baselines repeat it or skip it entirely)",
+    "index.lookup": "server-side IndexTable resolution CPU on the "
+                    "IndexNode (per-level probes + fixed request "
+                    "overhead)",
+    "rpc:read": "TafDB row-read round trip (InfiniFS resolves the path "
+                "client-side, one read per directory level)",
+    "rpc_read": "TafDB shard-server CPU handling row reads",
+    "rpc:execute": "single-shard transaction commit round trip",
+    "rpc_execute": "shard-side commit work: row writes + group-committed "
+                   "WAL fsync",
+    "tafdb.txn": "transaction coordination (1PC fast path or 2PC)",
+    "tafdb.prepare": "2PC prepare fan-out (multi-shard transactions)",
+    "raft.flush": "Raft log fsync on the IndexNode leader",
+    "raft.apply": "applying committed Raft entries to the IndexTable",
+    "lookup": "client-visible resolution phase (blocked time here is "
+              "waiting on resolution sub-work)",
+    "execution": "client-visible execution phase",
+    "(unattributed)": "work outside any operation span (heartbeats, "
+                      "compaction, setup)",
+}
+
+#: Cost-kind glosses for table notes.
+KIND_NOTES = {
+    "cpu": "core-occupancy from host.work",
+    "fsync": "durable-flush time on a disk",
+    "wire": "network flight time",
+    "queue": "waiting for a busy core/disk/latch",
+    "idle": "self-time not explained by any charge (blocked on "
+            "children/commit waits)",
+}
+
+
+def resolve_case(target: str) -> Case:
+    """Map a fig id or bare op name to its profiled sweep point."""
+    case = CASES.get(target)
+    if case is not None:
+        return case
+    if target in OPS:
+        return Case(target)
+    known = ", ".join(sorted(CASES) + list(OPS))
+    raise ValueError(f"nothing to profile for {target!r}; choose from "
+                     f"{known}")
+
+
+def _reconcile_cpu(profile: CostProfile, telemetry) -> float:
+    """Worst per-host relative error of profiler CPU vs telemetry busy."""
+    worst = 0.0
+    by_host = profile.cpu_by_host()
+    hosts = set(h for h in by_host if h is not None)
+    hosts.update(telemetry.hosts("host.cpu_busy_us"))
+    for host in sorted(hosts):
+        counter = telemetry.find("host.cpu_busy_us", host)
+        expected = counter.total if counter is not None else 0.0
+        got = by_host.get(host, 0.0)
+        err = abs(got - expected) / max(expected, 1e-9)
+        worst = max(worst, err)
+    return worst
+
+
+def profile_point(system: str, target: str, case: Case, scale: str,
+                  clients: Optional[int] = None,
+                  items: Optional[int] = None,
+                  out_base: str = "") -> Dict:
+    """Run one system's knee point instrumented; returns the artifact dict.
+
+    Writes and validates both flame-graph exports, and raises
+    ``RuntimeError`` if profiler CPU fails to reconcile with telemetry.
+    """
+    metrics, tracer, telemetry = mdtest_metrics_profiled(
+        system, case.op, mode=case.mode,
+        clients=clients or pick(scale, *case.clients),
+        items=items or pick(scale, *case.items))
+    profile = profile_from_tracer(tracer, name=f"{system} {case.op}")
+    reconcile_err = _reconcile_cpu(profile, telemetry)
+    if reconcile_err > RECONCILE_TOLERANCE:
+        raise RuntimeError(
+            f"{system}: profiler CPU diverges from telemetry busy "
+            f"counters by {reconcile_err:.2%} (> "
+            f"{RECONCILE_TOLERANCE:.0%})")
+    base = out_base or default_out("profile", target)
+    folded_path = f"{base}_{system}.folded"
+    speedscope_path = f"{base}_{system}.speedscope.json"
+    lines = write_folded(folded_path, profile)
+    ensure_valid(validate_folded(lines), f"{folded_path}")
+    payload = write_speedscope(speedscope_path, profile)
+    ensure_valid(validate_speedscope(payload), f"{speedscope_path}")
+    return {
+        "system": system,
+        "metrics": metrics,
+        "profile": profile,
+        "telemetry": telemetry,
+        "reconcile_err": reconcile_err,
+        "folded_path": folded_path,
+        "speedscope_path": speedscope_path,
+        "folded_lines": lines,
+        "speedscope": payload,
+    }
+
+
+def summary_table(target: str, artifacts: List[Dict]) -> Table:
+    """Per-system rollup: per-op cost-kind split + reconciliation error."""
+    table = Table(
+        f"{target} cost-kind split (us per completed op)",
+        ["system", "ops", "lat us/op", "cpu", "fsync", "wire", "queue",
+         "idle", "cpu vs telemetry"])
+    for artifact in artifacts:
+        profile: CostProfile = artifact["profile"]
+        ops = max(profile.ops, 1)
+        kinds = profile.cost_by_kind()
+        table.add_row(
+            artifact["system"], profile.ops,
+            round(profile.total_root_us / ops, 1),
+            *[round(kinds.get(kind, 0.0) / ops, 1)
+              for kind in ("cpu", "fsync", "wire", "queue", "idle")],
+            f"{artifact['reconcile_err']:.2%}")
+    table.add_note("kinds: " + "; ".join(
+        f"{kind}={note}" for kind, note in KIND_NOTES.items()))
+    return table
+
+
+def top_table(artifact: Dict, top: int) -> Table:
+    """One system's hottest (frame, kind) self-time centers."""
+    profile: CostProfile = artifact["profile"]
+    ops = max(profile.ops, 1)
+    total = max(profile.total_self_us, 1e-9)
+    table = Table(
+        f"{profile.name}: top self-time centers",
+        ["frame", "kind", "self us", "us/op", "share"])
+    for frame, kind, us in profile.top_self(top):
+        table.add_row(frame, kind, round(us, 1), round(us / ops, 2),
+                      f"{us / total:.1%}")
+    table.add_note(
+        f"wrote {artifact['folded_path']} and "
+        f"{artifact['speedscope_path']}")
+    return table
+
+
+def run_profile(target: str, scale: str = "quick", out_base: str = "",
+                systems: Optional[List[str]] = None,
+                clients: Optional[int] = None,
+                items: Optional[int] = None,
+                top: int = 12) -> Tuple[List[Table], List[Dict]]:
+    """Profile ``target`` on each system; returns (tables, artifacts)."""
+    case = resolve_case(target)
+    artifacts = [
+        profile_point(system, target, case, scale, clients=clients,
+                      items=items, out_base=out_base)
+        for system in (systems or list(case.systems))
+    ]
+    tables = [summary_table(target, artifacts)]
+    tables.extend(top_table(a, top) for a in artifacts)
+    return tables, artifacts
+
+
+def diff_table(base: Dict, other: Dict, top: int) -> Table:
+    """Signed per-op cost deltas between two systems, largest first."""
+    base_profile: CostProfile = base["profile"]
+    other_profile: CostProfile = other["profile"]
+    rows = diff_profiles(base_profile, other_profile)
+    table = Table(
+        f"differential profile: {other_profile.name} - "
+        f"{base_profile.name} (per op)",
+        ["frame", "kind", f"{base['system']} us/op",
+         f"{other['system']} us/op", "delta us/op", "delta spans/op"])
+    explained: List[str] = []
+    for row in rows[:top]:
+        table.add_row(
+            row.frame, row.kind, round(row.base_us_per_op, 2),
+            round(row.other_us_per_op, 2),
+            f"{row.delta_us_per_op:+.2f}",
+            f"{row.delta_spans_per_op:+.2f}")
+        mechanism = MECHANISMS.get(row.frame)
+        if mechanism and mechanism not in explained:
+            explained.append(mechanism)
+            table.add_note(f"{row.frame}: {mechanism}")
+    table.add_note(
+        f"positive delta = {other['system']} spends more; spans/op is "
+        "the per-op span-count gap (extra RPC hops show up here)")
+    return table
+
+
+def run_profile_diff(base_system: str, other_system: str, target: str,
+                     scale: str = "quick", out_base: str = "",
+                     clients: Optional[int] = None,
+                     items: Optional[int] = None,
+                     top: int = 12) -> Tuple[List[Table], List[Dict]]:
+    """Profile ``target`` on two systems and print the aligned deltas."""
+    case = resolve_case(target)
+    artifacts = [
+        profile_point(system, target, case, scale, clients=clients,
+                      items=items, out_base=out_base)
+        for system in (base_system, other_system)
+    ]
+    tables = [summary_table(target, artifacts)]
+    tables.append(diff_table(artifacts[0], artifacts[1], top))
+    return tables, artifacts

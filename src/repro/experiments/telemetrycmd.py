@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.bench.analyze import hit_ratio_series, utilization_series
 from repro.bench.report import Table, latency_summary_table
 from repro.experiments.base import mdtest_metrics_telemetry, pick
+from repro.experiments.exportutil import default_out, ensure_valid
 from repro.sim.telemetry import sparkline, validate_rows
 
 #: Sparkline width: one character per telemetry window, capped here.
@@ -132,7 +133,7 @@ def run_telemetry(fig: str, scale: str = "quick", out_base: str = "",
         known = ", ".join(sorted(CASES))
         raise ValueError(f"no telemetry cases for {fig!r}; choose from "
                          f"{known}")
-    out_base = out_base or f"telemetry_{fig}"
+    out_base = out_base or default_out("telemetry", fig)
     # Short quick-scale runs get a finer window so timelines have columns.
     window = window_us or pick(scale, 1_000.0, 10_000.0)
 
@@ -168,10 +169,7 @@ def run_telemetry(fig: str, scale: str = "quick", out_base: str = "",
     # Export the primary (first) case.
     case, metrics, telemetry, verdict = results[0]
     rows = telemetry.export_rows()
-    problems = validate_rows(rows)
-    if problems:
-        raise RuntimeError("telemetry export failed schema validation: "
-                           + "; ".join(problems[:5]))
+    ensure_valid(validate_rows(rows), "telemetry export")
     csv_path, json_path = out_base + ".csv", out_base + ".json"
     row_count = telemetry.write_csv(csv_path)
     payload = telemetry.write_json(json_path, extra={

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.bench.report import Table
+from repro.experiments.exportutil import default_out, ensure_valid
 from repro.sim.trace import (
     aggregate_ops,
     category_summary,
@@ -106,15 +107,11 @@ def run_trace(experiment: str, scale: str = "quick",
     Raises ``RuntimeError`` if the exported JSON fails schema validation or
     the span/metric cross-check exceeds :data:`AGREEMENT_TOLERANCE`.
     """
-    out_path = out_path or f"trace_{experiment}.json"
+    out_path = out_path or default_out("trace", experiment, ".json")
     tables, artifacts = _run_traced(experiment, scale)
     sections = [(a["label"], a["tracer"].spans) for a in artifacts]
     payload = write_chrome_trace(out_path, sections)
-    problems = validate_chrome_trace(payload)
-    if problems:
-        raise RuntimeError(
-            "exported Chrome trace failed schema validation: "
-            + "; ".join(problems[:5]))
+    ensure_valid(validate_chrome_trace(payload), "exported Chrome trace")
     agreement, worst = agreement_table(artifacts)
     agreement.add_note(
         f"worst relative error {worst:.2%} "

@@ -74,7 +74,12 @@ class RaftGroup:
                                 self.sim.now, category="raft")
         else:
             span = None
-        yield from self.network.transit()
+        if tracer.enabled:
+            sent_us = self.sim._now
+            yield from self.network.transit()
+            tracer.charge("wire", self.sim._now - sent_us)
+        else:
+            yield from self.network.transit()
         target = self.nodes.get(to_id)
         dropped = target is None or target._stopped or target.host.crashed
         if span is not None:

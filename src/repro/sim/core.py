@@ -228,6 +228,11 @@ class Process(Event):
     def _resume(self, trigger: Event) -> None:
         if self._value is not _PENDING:
             return  # interrupted-and-finished race
+        # Publish which process is executing: the tracer's cost-attribution
+        # stacks (repro.sim.profile) key on this to charge simulated work to
+        # the innermost open span of the running process.  One attribute
+        # store per resume; nothing in the kernel ever reads it.
+        self.sim._active_process = self
         # Detach from whatever we were waiting on.
         waited = self._waiting_on
         if waited is not None:
@@ -412,6 +417,9 @@ class Simulator:
         #: never creates simulator events, so simulated results are
         #: identical either way.
         self.tracer = tracer
+        # Cost attribution (repro.sim.profile) keys span stacks by the
+        # currently executing process; give the tracer access to it.
+        tracer.bind(self)
         if telemetry is None:
             telemetry = (telemetry_module.Telemetry()
                          if telemetry_module._telemetry_default()

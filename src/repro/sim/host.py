@@ -98,9 +98,16 @@ class Host:
         cpu = self.cpu
         req = cpu.request()
         yield req
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            wait = self.sim._now - req._enqueue_time
+            if wait > 0.0:
+                tracer.charge("queue", wait, self.name)
         try:
             yield Timeout(self.sim, us)
             self.cpu_busy_us += us
+            if tracer.enabled:
+                tracer.charge("cpu", us, self.name)
             telemetry = self.sim.telemetry
             if telemetry.enabled:
                 now = self.sim._now
@@ -122,6 +129,7 @@ class Host:
             raise ServiceUnavailableError(self.name)
         req = self.disk.request()
         yield req
+        self._charge_disk_wait(req)
         try:
             yield self.sim.timeout(self.fsync_us)
             self.fsync_count += 1
@@ -129,7 +137,17 @@ class Host:
         finally:
             self.disk.release(req)
 
+    def _charge_disk_wait(self, req) -> None:
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            wait = self.sim._now - req._enqueue_time
+            if wait > 0.0:
+                tracer.charge("queue", wait, self.name)
+
     def _record_fsync(self, us: float) -> None:
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.charge("fsync", us, self.name)
         telemetry = self.sim.telemetry
         if telemetry.enabled:
             now = self.sim._now
@@ -148,6 +166,7 @@ class Host:
             raise ServiceUnavailableError(self.name)
         req = self.disk.request()
         yield req
+        self._charge_disk_wait(req)
         try:
             yield self.sim.timeout(us)
             self.fsync_count += 1

@@ -73,7 +73,13 @@ class Network:
             telemetry.gauge("rpc.in_flight").adjust(started_us, 1.0)
         else:
             started_us = None
-        yield from self.transit()
+        if tracer.enabled:
+            sent_us = self.sim._now
+            yield from self.transit()
+            tracer.charge("wire", self.sim._now - sent_us,
+                          server.host.name)
+        else:
+            yield from self.transit()
         ok = True
         try:
             result = yield from server.dispatch(method, args, kwargs, span)
@@ -82,7 +88,13 @@ class Network:
             raise
         finally:
             # The response (or error) still has to fly back.
-            yield from self.transit()
+            if tracer.enabled:
+                sent_us = self.sim._now
+                yield from self.transit()
+                tracer.charge("wire", self.sim._now - sent_us,
+                              server.host.name)
+            else:
+                yield from self.transit()
             if span is not None:
                 tracer.end(span, self.sim.now, ok=ok)
             if started_us is not None and telemetry.enabled:

@@ -56,10 +56,20 @@ class Span:
 
     ``start_us`` / ``end_us`` are simulated microseconds.  ``parent_id`` is 0
     for root spans.  ``ok`` is False when the spanned work raised.
+
+    ``parent_id`` is the *declared* parent (what the instrumentation site
+    passed, e.g. an RPC span declares the operation root).  ``dyn_parent_id``
+    is the *dynamic* parent: the span that was innermost on the opening
+    process's stack at begin time.  The two differ exactly where declared
+    trees overlap (RPCs declare the root while a phase span is open); the
+    profiler (:mod:`repro.sim.profile`) folds on the dynamic tree because
+    only there are sibling intervals guaranteed disjoint, which is what makes
+    self-time = parent-minus-children non-negative and exactly conservative.
     """
 
     __slots__ = ("span_id", "parent_id", "name", "category", "host",
-                 "start_us", "end_us", "attrs", "ok")
+                 "start_us", "end_us", "attrs", "ok", "dyn_parent_id",
+                 "costs")
 
     def __init__(self, span_id: int, parent_id: int, name: str,
                  category: str, host: Optional[str], start_us: float):
@@ -72,6 +82,18 @@ class Span:
         self.end_us: Optional[float] = None
         self.attrs: Optional[Dict[str, Any]] = None
         self.ok = True
+        self.dyn_parent_id = 0
+        #: (cost-kind, host) -> simulated microseconds charged while this
+        #: span was innermost; ``None`` until the first charge.
+        self.costs: Optional[Dict[Tuple[str, Optional[str]], float]] = None
+
+    def add_cost(self, kind: str, host: Optional[str], us: float) -> None:
+        """Accumulate ``us`` of ``kind`` cost (cpu/fsync/wire/queue)."""
+        costs = self.costs
+        if costs is None:
+            costs = self.costs = {}
+        key = (kind, host)
+        costs[key] = costs.get(key, 0.0) + us
 
     @property
     def duration_us(self) -> float:
@@ -106,8 +128,13 @@ class _NullSpan:
     end_us = 0.0
     ok = True
     duration_us = 0.0
+    dyn_parent_id = 0
+    costs = None
 
     def annotate(self, **attrs) -> None:
+        pass
+
+    def add_cost(self, kind: str, host: Optional[str], us: float) -> None:
         pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -148,6 +175,16 @@ class NullTracer:
     def end(self, span, now: float, ok: bool = True) -> None:
         pass
 
+    def bind(self, sim) -> None:
+        pass
+
+    def charge(self, kind: str, us: float, host: Optional[str] = None) -> None:
+        pass
+
+    @property
+    def unattributed(self) -> Dict[Tuple[Optional[str], str], float]:
+        return {}
+
     def reset(self) -> None:
         pass
 
@@ -175,7 +212,7 @@ class Tracer:
     """
 
     __slots__ = ("_ring", "_next_id", "_roots_seen", "_sample_every",
-                 "started", "finished")
+                 "started", "finished", "_sim", "_stacks", "unattributed")
 
     enabled = True
 
@@ -191,6 +228,25 @@ class Tracer:
         self._sample_every = sample_every
         self.started = 0
         self.finished = 0
+        # Cost attribution.  ``_stacks`` maps the simulator's currently
+        # executing process to its stack of open spans; ``charge`` lands on
+        # the stack top.  An unbound tracer (no ``bind`` call) degrades to a
+        # single shared stack — fine for single-process unit tests, wrong
+        # for concurrent workloads, which is why every assignment site binds.
+        self._sim = None
+        self._stacks: Dict[Any, List[Any]] = {}
+        #: (host, cost-kind) -> us charged while no (sampled) span was open.
+        #: Keeps profiler-vs-telemetry reconciliation exact under sampling.
+        self.unattributed: Dict[Tuple[Optional[str], str], float] = {}
+
+    def bind(self, sim) -> None:
+        """Attach the simulator whose active process keys the span stacks.
+
+        Charges and dynamic-parent links are attributed per process; the
+        kernel publishes ``sim._active_process`` on every resume, so binding
+        is the only coupling the tracer needs.
+        """
+        self._sim = sim
 
     @property
     def spans(self) -> Sequence[Span]:
@@ -213,29 +269,82 @@ class Tracer:
         ``parent`` is another :class:`Span` (or :data:`NULL_SPAN`, in which
         case the child is elided too, keeping whole trees atomic under
         sampling), or ``None`` for a root span.
+
+        Elided spans are still pushed onto the opening process's stack so
+        that work done under them charges the unattributed bucket rather
+        than leaking into an outer span's cost profile.
         """
+        proc = self._sim._active_process if self._sim is not None else None
+        stack = self._stacks.get(proc)
         if parent is None:
             self._roots_seen += 1
             if self._sample_every > 1 and \
                     (self._roots_seen - 1) % self._sample_every:
-                return NULL_SPAN
+                span = NULL_SPAN
+            else:
+                span = None
             parent_id = 0
         elif parent is NULL_SPAN:
-            return NULL_SPAN
+            span = NULL_SPAN
+            parent_id = 0
         else:
+            span = None
             parent_id = parent.span_id
-        self._next_id += 1
-        self.started += 1
-        return Span(self._next_id, parent_id, name, category, host, now)
+        if span is None:
+            self._next_id += 1
+            self.started += 1
+            span = Span(self._next_id, parent_id, name, category, host, now)
+            if stack:
+                span.dyn_parent_id = stack[-1].span_id
+        if stack is None:
+            self._stacks[proc] = [span]
+        else:
+            stack.append(span)
+        return span
 
     def end(self, span, now: float, ok: bool = True) -> None:
         """Close a span and commit it to the ring."""
+        proc = self._sim._active_process if self._sim is not None else None
+        stack = self._stacks.get(proc)
+        if stack:
+            if stack[-1] is span:
+                stack.pop()
+            elif span is not NULL_SPAN:
+                # A child leaked open (exception unwound past its end call):
+                # truncate through it so the stack mirrors reality again.
+                for i in range(len(stack) - 1, -1, -1):
+                    if stack[i] is span:
+                        del stack[i:]
+                        break
+            if not stack:
+                del self._stacks[proc]
         if span is NULL_SPAN:
             return
         span.end_us = now
         span.ok = ok
         self.finished += 1
         self._ring.append(span)
+
+    def charge(self, kind: str, us: float, host: Optional[str] = None) -> None:
+        """Attribute ``us`` simulated microseconds of ``kind`` cost.
+
+        The charge lands on the innermost open span of the currently
+        executing process; with no (sampled) span open it accrues to the
+        tracer-level :attr:`unattributed` bucket so totals still reconcile
+        against telemetry busy counters.
+        """
+        if us <= 0.0:
+            return
+        proc = self._sim._active_process if self._sim is not None else None
+        stack = self._stacks.get(proc)
+        if stack:
+            top = stack[-1]
+            if top is not NULL_SPAN:
+                top.add_cost(kind, host, us)
+                return
+        key = (host, kind)
+        bucket = self.unattributed
+        bucket[key] = bucket.get(key, 0.0) + us
 
     def reset(self) -> None:
         """Drop every collected span (counters restart too)."""
@@ -244,6 +353,8 @@ class Tracer:
         self._roots_seen = 0
         self.started = 0
         self.finished = 0
+        self._stacks.clear()
+        self.unattributed.clear()
 
 
 # ---------------------------------------------------------------------------

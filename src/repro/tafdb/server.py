@@ -106,6 +106,11 @@ class DBServer(Server):
             self._dir_latches[(shard_id, dir_id)] = latch
         req = latch.request()
         yield req
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            wait = self.sim._now - req._enqueue_time
+            if wait > 0.0:
+                tracer.charge("queue", wait, self.host.name)
         try:
             yield from self.host.work(
                 self.costs.db_row_read_us + self.costs.db_row_write_us)

@@ -1,0 +1,156 @@
+"""Tests for ``mantle-exp profile``, the export helpers, and the
+``--check-profile`` registry plumbing.
+
+Profiled runs here stay deliberately tiny (``--clients 6 --items 3``) —
+the attribution invariants themselves live in ``tests/sim/test_profile.py``;
+this module covers the command surface: case resolution, artifact writing,
+validator wiring, the diff table, and how ``check_profile`` threads through
+the experiment registry.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import get_experiment
+from repro.experiments.cli import main
+from repro.experiments.exportutil import (
+    default_out,
+    ensure_valid,
+    write_json_payload,
+)
+from repro.experiments.profilecmd import (
+    CASES,
+    diff_table,
+    resolve_case,
+    run_profile,
+    run_profile_diff,
+)
+from repro.sim.profile import validate_folded, validate_speedscope
+
+
+class TestExportUtil:
+    def test_default_out_sanitises(self):
+        assert default_out("profile", "fig12") == "profile_fig12"
+        assert default_out("trace", "a/b c", ".json") == "trace_a_b_c.json"
+
+    def test_ensure_valid_passes_clean(self):
+        ensure_valid([], "anything")  # no raise
+
+    def test_ensure_valid_raises_and_truncates(self):
+        problems = [f"problem {i}" for i in range(9)]
+        with pytest.raises(RuntimeError, match=r"\+4 more"):
+            ensure_valid(problems, "exported payload")
+
+    def test_write_json_payload_round_trips(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_json_payload(str(path), {"rows": [1, 2]})
+        assert json.loads(path.read_text()) == {"rows": [1, 2]}
+
+
+class TestCaseResolution:
+    def test_figures_map_to_their_knee_ops(self):
+        assert resolve_case("fig12").op == "objstat"
+        assert resolve_case("fig14").mode == "shared"
+        assert resolve_case("fig19").systems == ("mantle",)
+
+    def test_bare_ops_accepted(self):
+        assert resolve_case("mkdir").op == "mkdir"
+
+    def test_unknown_target_lists_choices(self):
+        with pytest.raises(ValueError, match="fig12"):
+            resolve_case("fig99")
+
+    def test_every_case_op_is_a_real_mdtest_op(self):
+        from repro.experiments.profilecmd import OPS
+
+        for case in CASES.values():
+            assert case.op in OPS
+
+
+class TestRunProfile:
+    def test_writes_validated_artifacts(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        tables, artifacts = run_profile("objstat", systems=["mantle"],
+                                        clients=6, items=3)
+        assert len(artifacts) == 1
+        artifact = artifacts[0]
+        assert artifact["reconcile_err"] <= 1e-9
+        folded = (tmp_path / "profile_objstat_mantle.folded").read_text()
+        assert validate_folded(folded.splitlines()) == []
+        payload = json.loads(
+            (tmp_path / "profile_objstat_mantle.speedscope.json").read_text())
+        assert validate_speedscope(payload) == []
+        titles = [t.title for t in tables]
+        assert any("cost-kind split" in t for t in titles)
+        assert any("top self-time" in t for t in titles)
+
+    def test_diff_names_mechanisms(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        tables, artifacts = run_profile_diff(
+            "mantle", "infinifs", "objstat", clients=6, items=3)
+        diff = tables[-1]
+        assert "differential profile" in diff.title
+        assert diff.rows
+        # The per-level resolution reads must surface as a named mechanism.
+        notes = " ".join(diff.notes)
+        assert "rpc:read" in notes or "rpc:lookup" in notes
+
+    def test_diff_table_signs(self):
+        class FakeProfile:
+            name = "fake"
+            ops = 2
+
+            def __init__(self, totals, spans):
+                self._totals = totals
+                self.frames = spans
+
+            def frame_kind_totals(self):
+                return self._totals
+
+        class FakeFrame:
+            def __init__(self, spans):
+                self.spans = spans
+
+        base = FakeProfile({("f", "cpu"): 10.0}, {"f": FakeFrame(2)})
+        other = FakeProfile({("f", "cpu"): 30.0}, {"f": FakeFrame(6)})
+        table = diff_table({"system": "a", "profile": base},
+                           {"system": "b", "profile": other}, top=5)
+        row = table.rows[0]
+        assert row[-2] == "+10.00"  # (30 - 10) / 2 ops
+        assert row[-1] == "+2.00"
+
+
+class TestCheckProfileRegistry:
+    def test_flags_detected(self):
+        assert get_experiment("fig13").accepts_check_profile
+        assert get_experiment("fig15").accepts_check_profile
+        assert not get_experiment("fig12").accepts_check_profile
+
+    def test_unsupported_experiment_rejects_flag(self):
+        with pytest.raises(ValueError, match="fig13, fig15"):
+            get_experiment("fig12").run(scale="quick", check_profile=True)
+
+
+class TestCli:
+    def test_profile_command(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["profile", "objstat", "--systems", "mantle",
+                     "--clients", "6", "--items", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "cost-kind split" in out
+        assert (tmp_path / "profile_objstat_mantle.folded").exists()
+        assert (tmp_path / "profile_objstat_mantle.speedscope.json").exists()
+
+    def test_profile_diff_command(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["profile", "objstat", "--diff", "mantle", "tectonic",
+                     "--clients", "6", "--items", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "differential profile" in out
+        assert "delta us/op" in out
+
+    def test_profile_rejects_unknown_target(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(ValueError):
+            main(["profile", "fig99"])
