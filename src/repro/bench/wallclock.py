@@ -172,6 +172,17 @@ PR3_BASELINE_EVENTS_PER_S: Dict[str, float] = {
     "anyof_fanout": 841207.0,
 }
 
+#: events/s at the end of PR-4 (commit caa6636, cost profiler merged; same
+#: container, repeats=5).  The critical-path PR must keep the
+#: instrumentation-off kernel within 5% of these — ``--assert-vs-pr4 0.05``
+#: (a 0.95x geomean floor) is the CI gate.
+PR4_BASELINE_EVENTS_PER_S: Dict[str, float] = {
+    "timeout_churn": 642692.0,
+    "immediate_resume": 3241944.0,
+    "resource_pingpong": 887545.0,
+    "anyof_fanout": 831125.0,
+}
+
 
 def run_kernel_benches(repeats: int = 3) -> Dict[str, Dict[str, float]]:
     """Run every kernel microbench, keeping the best of ``repeats`` runs."""
@@ -203,6 +214,9 @@ def run_kernel_benches(repeats: int = 3) -> Dict[str, Dict[str, float]]:
         pr3 = PR3_BASELINE_EVENTS_PER_S.get(name)
         if pr3:
             results[name]["speedup_vs_pr3"] = round(best_rate / pr3, 3)
+        pr4 = PR4_BASELINE_EVENTS_PER_S.get(name)
+        if pr4:
+            results[name]["speedup_vs_pr4"] = round(best_rate / pr4, 3)
     return results
 
 
@@ -315,6 +329,48 @@ def measure_telemetry_overhead(clients: int = 24,
     }
 
 
+def measure_critpath_overhead(clients: int = 24,
+                              items: int = 8) -> Dict[str, float]:
+    """Wall-clock cost of critical-path extraction on one mdtest run.
+
+    The instrumentation is the same as profiling (span tree + charges +
+    blocked edges); what this times on top is the extraction itself —
+    :func:`~repro.sim.critpath.critpath_from_tracer` plus the
+    profile-contrast fold, i.e. everything ``mantle-exp critpath`` does
+    after the simulation finishes.  The simulated results are
+    bit-identical to the uninstrumented run (pinned by the determinism
+    tests).
+    """
+    from repro.experiments.base import (mdtest_metrics,
+                                        mdtest_metrics_profiled)
+    from repro.sim.critpath import (contrast_with_profile,
+                                    critpath_from_tracer)
+    from repro.sim.profile import profile_from_tracer
+
+    start = time.perf_counter()
+    mdtest_metrics("mantle", "mkdir", clients=clients, items=items)
+    off_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    _, tracer, _ = mdtest_metrics_profiled("mantle", "mkdir",
+                                           clients=clients, items=items)
+    sim_s = time.perf_counter() - start
+    start = time.perf_counter()
+    crit = critpath_from_tracer(tracer)
+    contrast = contrast_with_profile(crit, profile_from_tracer(tracer))
+    extract_s = time.perf_counter() - start
+    on_s = sim_s + extract_s
+    return {
+        "critpath_off_s": round(off_s, 4),
+        "critpath_on_s": round(on_s, 4),
+        "extract_s": round(extract_s, 4),
+        "overhead_ratio": round(on_s / off_s, 3) if off_s else 0.0,
+        "ops": crit.ops,
+        "centers": len(crit.gated),
+        "contrast_rows": len(contrast),
+    }
+
+
 # ---------------------------------------------------------------------------
 # Quick experiment suite timing.
 # ---------------------------------------------------------------------------
@@ -363,6 +419,11 @@ def main(argv=None) -> int:
                         help="fail if the instrumentation-off kernel geomean "
                              "drops more than FRAC (e.g. 0.05) below the "
                              "PR-3 baseline")
+    parser.add_argument("--assert-vs-pr4", type=float, default=None,
+                        metavar="FRAC",
+                        help="fail if the instrumentation-off kernel geomean "
+                             "drops more than FRAC (e.g. 0.05, a 0.95x "
+                             "floor) below the PR-4 baseline")
     parser.add_argument("--skip-overhead", action="store_true",
                         help="skip the traced-vs-untraced workload timing")
     args = parser.parse_args(argv)
@@ -393,6 +454,10 @@ def main(argv=None) -> int:
         geomean_speedup(report["kernel"], key="speedup_vs_pr3"), 3)
     report["kernel_geomean_speedup_vs_pr3"] = geomean_pr3
     print(f"kernel geomean speedup vs PR-3: {geomean_pr3:.2f}x")
+    geomean_pr4 = round(
+        geomean_speedup(report["kernel"], key="speedup_vs_pr4"), 3)
+    report["kernel_geomean_speedup_vs_pr4"] = geomean_pr4
+    print(f"kernel geomean speedup vs PR-4: {geomean_pr4:.2f}x")
 
     failed = False
     if args.assert_vs_pr1 is not None:
@@ -422,6 +487,15 @@ def main(argv=None) -> int:
             failed = True
         else:
             print(f"assert-vs-pr3 OK: {geomean_pr3:.3f}x >= {floor:.2f}x")
+    if args.assert_vs_pr4 is not None:
+        floor = 1.0 - args.assert_vs_pr4
+        if geomean_pr4 < floor:
+            print(f"FAIL: kernel geomean {geomean_pr4:.3f}x vs PR-4 is "
+                  f"below the {floor:.2f}x floor "
+                  f"(>{args.assert_vs_pr4:.0%} regression)", file=sys.stderr)
+            failed = True
+        else:
+            print(f"assert-vs-pr4 OK: {geomean_pr4:.3f}x >= {floor:.2f}x")
 
     if not args.skip_overhead:
         overhead = measure_tracing_overhead()
@@ -444,6 +518,15 @@ def main(argv=None) -> int:
               f"{profiling_cost['profiling_on_s']:.2f}s, "
               f"{profiling_cost['spans']} spans, "
               f"{profiling_cost['centers']} centers)")
+        critpath_cost = measure_critpath_overhead()
+        report["critpath_overhead"] = critpath_cost
+        print(f"critpath overhead     "
+              f"{critpath_cost['overhead_ratio']:.2f}x wall "
+              f"({critpath_cost['critpath_off_s']:.2f}s -> "
+              f"{critpath_cost['critpath_on_s']:.2f}s, extraction "
+              f"{critpath_cost['extract_s']:.3f}s over "
+              f"{critpath_cost['ops']} ops, "
+              f"{critpath_cost['centers']} centers)")
 
     if not args.skip_suite:
         suite: Dict[str, object] = {"serial": time_quick_suite(

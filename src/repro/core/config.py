@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.sim.host import CostModel
+from typing import Optional
+
+from repro.sim.host import CostModel, CostOverrides
 
 
 @dataclasses.dataclass
@@ -94,6 +96,11 @@ class MantleConfig:
 
     # --- costs -------------------------------------------------------------
     costs: CostModel = dataclasses.field(default_factory=CostModel)
+    #: What-if cost overrides (:class:`~repro.sim.host.CostOverrides`):
+    #: per-component speedup factors applied to ``costs`` when the system
+    #: is built.  ``None`` (or empty) leaves the cost model untouched.
+    #: ``mantle-exp whatif --speedup raft.fsync=2x`` reruns through this.
+    overrides: Optional[CostOverrides] = None
 
     def copy(self, **overrides) -> "MantleConfig":
         dup = dataclasses.replace(self)
@@ -128,6 +135,13 @@ class MantleConfig:
     def paper_scale(cls, **overrides) -> "MantleConfig":
         """The paper's Table 2 deployment shape (the dataclass defaults)."""
         return cls().copy(**overrides)
+
+    def effective_costs(self) -> CostModel:
+        """The cost model a built system actually runs with: ``costs``
+        with any what-if ``overrides`` applied."""
+        if self.overrides:
+            return self.overrides.apply(self.costs)
+        return self.costs
 
     def validate(self) -> None:
         if self.path_cache_k < 0:

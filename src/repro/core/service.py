@@ -54,7 +54,11 @@ class MantleSystem(MetadataSystem):
         """
         self.config = config or MantleConfig()
         self.config.validate()
-        costs = self.config.costs
+        # What-if overrides scale the cost model once, here; the scaled
+        # model then threads through hosts, network, Raft and TafDB like
+        # any other CostModel, so an override rerun exercises the exact
+        # machinery of a hand-calibrated deployment.
+        costs = self.config.effective_costs()
         sim = sim or Simulator()
         if self.config.tracing and not sim.tracer.enabled:
             from repro.sim.trace import Tracer

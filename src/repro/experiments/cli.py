@@ -154,6 +154,41 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_critpath(args) -> int:
+    from repro.experiments.critpathcmd import run_critpath
+
+    started = time.time()
+    tables, lines, artifacts = run_critpath(
+        args.experiment, scale=args.scale, out_base=args.out,
+        systems=args.systems, clients=args.clients, items=args.items,
+        top=args.top)
+    ops = sum(a["crit"].ops for a in artifacts)
+    header = (f"### critpath {args.experiment} (scale={args.scale}, "
+              f"{len(artifacts)} systems, {ops} ops folded, "
+              f"{time.time() - started:.1f}s wall)")
+    print_tables(tables, header=header)
+    print()
+    print("\n".join(lines))
+    return 0
+
+
+def _cmd_whatif(args) -> int:
+    from repro.experiments.critpathcmd import run_whatif
+
+    started = time.time()
+    tables, result = run_whatif(
+        args.experiment, args.speedup, system=args.system,
+        scale=args.scale, clients=args.clients, items=args.items)
+    header = (f"### whatif {args.experiment} (scale={args.scale}, "
+              f"{time.time() - started:.1f}s wall)")
+    print_tables(tables, header=header)
+    if args.max_error is not None and not result.within(args.max_error):
+        print(f"whatif: prediction error {result.error_frac:.1%} exceeds "
+              f"--max-error {args.max_error:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="mantle-exp",
@@ -228,10 +263,59 @@ def main(argv=None) -> int:
                                 help="override ops per client")
     profile_parser.add_argument("--top", type=int, default=12,
                                 help="rows per self-time / diff table")
+    critpath_parser = sub.add_parser(
+        "critpath",
+        help="extract per-op critical paths; print gating centers and "
+             "on/off-path contrast")
+    critpath_parser.add_argument(
+        "experiment",
+        help="figure id (fig12/fig14/fig19) or mdtest op (objstat, "
+             "mkdir, ...)")
+    critpath_parser.add_argument("--scale", choices=("quick", "full"),
+                                 default="quick")
+    critpath_parser.add_argument("--systems", nargs="+", default=None,
+                                 metavar="SYSTEM",
+                                 help="override the systems to analyze")
+    critpath_parser.add_argument("--out", metavar="BASE", default="",
+                                 help="output base path "
+                                      "(default critpath_<experiment>)")
+    critpath_parser.add_argument("--clients", type=int, default=None,
+                                 help="override the case's client count")
+    critpath_parser.add_argument("--items", type=int, default=None,
+                                 help="override ops per client")
+    critpath_parser.add_argument("--top", type=int, default=12,
+                                 help="rows per gating / contrast table")
+    whatif_parser = sub.add_parser(
+        "whatif",
+        help="predict a cost-model speedup from critical-path slack, "
+             "then rerun with it applied and compare")
+    whatif_parser.add_argument(
+        "experiment",
+        help="figure id (fig12/fig14/fig19) or mdtest op (objstat, "
+             "mkdir, ...)")
+    whatif_parser.add_argument("--speedup", action="append", default=[],
+                               metavar="COMPONENT=FACTORx",
+                               help="virtual speedup, e.g. raft.fsync=2x "
+                                    "(repeatable; see repro.sim.host."
+                                    "COMPONENT_FIELDS for components)")
+    whatif_parser.add_argument("--system", default="mantle",
+                               help="system to run (default mantle)")
+    whatif_parser.add_argument("--scale", choices=("quick", "full"),
+                               default="quick")
+    whatif_parser.add_argument("--clients", type=int, default=None,
+                               help="override the case's client count")
+    whatif_parser.add_argument("--items", type=int, default=None,
+                               help="override ops per client")
+    whatif_parser.add_argument("--max-error", type=float, default=None,
+                               metavar="FRAC",
+                               help="exit non-zero if the prediction "
+                                    "error exceeds this fraction of the "
+                                    "measured delta (e.g. 0.15)")
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
                 "trace": _cmd_trace, "telemetry": _cmd_telemetry,
-                "profile": _cmd_profile}
+                "profile": _cmd_profile, "critpath": _cmd_critpath,
+                "whatif": _cmd_whatif}
     return handlers[args.command](args)
 
 

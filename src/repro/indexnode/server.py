@@ -94,6 +94,53 @@ class IndexNodeService(Server):
             self._purger.interrupt("stop")
             self._purger = None
 
+    # -- replicated proposals with blocked-on attribution -----------------------
+
+    def _propose_attributed(self, command):
+        """Propose through Raft, decomposing the commit wait for tracing.
+
+        The proposing handler blocks from ``propose()`` until its entry is
+        applied; with tracing on, the node's commit-timeline stamps split
+        that wall time into the costs that gated it:
+
+        * ``raft.queue``  (queue) — batch-window wait until the leader's
+          flush started,
+        * ``raft.flush``  (fsync) — the leader's log fsync (disk queueing
+          included),
+        * ``raft.replicate`` (wire) — everything after the flush: the
+          replication round trip, follower fsyncs and the apply, which
+        * from the waiting handler's perspective is network-shaped.
+
+        Stamps can be missing (sampling raced a leadership change); the
+        whole wait is then attributed as a single ``raft.commit`` edge.
+        Pure bookkeeping either way: with tracing off this is exactly
+        ``yield self.node.propose(command)``.
+        """
+        tracer = self.sim.tracer
+        if not tracer.enabled:
+            result = yield self.node.propose(command)
+            return result
+        start = self.sim.now
+        waiter = self.node.propose(command)
+        try:
+            result = yield waiter
+        finally:
+            stats = self.node.pop_commit_stats(waiter)
+        now = self.sim.now
+        total = now - start
+        host = self.node.host.name
+        if stats is not None and "flush_end" in stats:
+            queued = min(total, max(0.0, stats["flush_start"] - start))
+            flushed = min(total - queued,
+                          max(0.0, stats["flush_end"] - stats["flush_start"]))
+            tracer.charge_blocked("raft.queue", "queue", queued, host)
+            tracer.charge_blocked("raft.flush", "fsync", flushed, host)
+            tracer.charge_blocked("raft.replicate", "wire",
+                                  total - queued - flushed, host)
+        else:
+            tracer.charge_blocked("raft.commit", "wire", total, host)
+        return result
+
     # -- lookups (Figure 7) ---------------------------------------------------------
 
     def _charge_lookup(self, outcome: LookupOutcome):
@@ -113,7 +160,16 @@ class IndexNodeService(Server):
         yield from self.host.work(self.costs.index_rpc_overhead_us)
         if not self.node.is_leader:
             # §5.1.3: commitIndex barrier keeps replica reads consistent.
+            # The wait is dominated by the commitIndex round trip to the
+            # leader (shared across concurrent readers), so charge it as a
+            # wire-kind blocked edge — otherwise replica reads show the
+            # barrier as unexplained idle on the critical path.
+            barrier_start = self.sim.now
             yield from self.node.read_barrier()
+            if span is not None:
+                tracer.charge_blocked("raft.read_barrier", "wire",
+                                      self.sim.now - barrier_start,
+                                      self.host.name)
         outcome = self.state.lookup(path, want)
         yield from self._charge_lookup(outcome)
         self.lookups_served += 1
@@ -168,7 +224,7 @@ class IndexNodeService(Server):
 
         # Step 4+5: RemovalList insert + lock bit, replicated through Raft.
         src_full = normalize(src_path)
-        result = yield self.node.propose(
+        result = yield from self._propose_attributed(
             ("rename_lock", src_parent.target_id, src_parent.final_name,
              owner, src_full))
         status = result[0]
@@ -186,7 +242,7 @@ class IndexNodeService(Server):
             max(1, len(chain)) * self.costs.index_probe_us)
         if locked:
             # Conflict with another in-flight rename: release and retry.
-            yield self.node.propose(
+            yield from self._propose_attributed(
                 ("rename_abort", src_parent.target_id,
                  src_parent.final_name, owner, src_full))
             raise RenameLockConflict(state.table.path_of(locked[0]))
@@ -209,7 +265,7 @@ class IndexNodeService(Server):
         yield from self.host.work(self.costs.index_rpc_overhead_us)
         if not self.node.is_leader:
             raise NotLeaderError(self.node.leader_hint)
-        result = yield self.node.propose(command)
+        result = yield from self._propose_attributed(command)
         return self._translate(command, result)
 
     @staticmethod

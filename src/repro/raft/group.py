@@ -70,15 +70,20 @@ class RaftGroup:
     def _deliver(self, to_id: int, message):
         tracer = self.sim.tracer
         if tracer.enabled:
+            # Attribute the flight to the destination replica's host so
+            # replication traffic shows up against the IndexNode servers
+            # in cost-center and critical-path views (an undelivered
+            # message to a stopped node keeps the host label: the wire
+            # time was spent regardless).
+            target = self.nodes.get(to_id)
+            host = target.host.name if target is not None else None
             span = tracer.begin("raft.msg:" + type(message).__name__,
-                                self.sim.now, category="raft")
-        else:
-            span = None
-        if tracer.enabled:
+                                self.sim.now, category="raft", host=host)
             sent_us = self.sim._now
             yield from self.network.transit()
-            tracer.charge("wire", self.sim._now - sent_us)
+            tracer.charge("wire", self.sim._now - sent_us, host)
         else:
+            span = None
             yield from self.network.transit()
         target = self.nodes.get(to_id)
         dropped = target is None or target._stopped or target.host.crashed

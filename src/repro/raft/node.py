@@ -103,6 +103,12 @@ class RaftNode:
         self._match_index: Dict[int, int] = {}
         self._pending: List[Tuple[Any, Any]] = []
         self._waiters: Dict[int, Any] = {}
+        #: Blocked-on attribution (tracer-gated): waiter Event -> commit
+        #: timeline stamps (proposed / flush_start / flush_end).  The
+        #: proposer pops its entry via :meth:`pop_commit_stats` once the
+        #: wait resolves; :meth:`_fail_waiters` clears the rest.  Waiter
+        #: events carry ``__slots__``, hence this side table.
+        self._commit_stats: Dict[Any, Dict[str, float]] = {}
         self._election_deadline = self._fresh_election_deadline()
         self._heartbeat_deadline: Optional[float] = None
         self._flush_deadline: Optional[float] = None
@@ -139,8 +145,18 @@ class RaftNode:
         waiter = self.sim.event()
         self._pending.append((command, waiter))
         self.proposals += 1
+        if self.sim.tracer.enabled:
+            self._commit_stats[waiter] = {"proposed": self.sim.now}
         self.mailbox.put(_POKE)
         return waiter
+
+    def pop_commit_stats(self, waiter) -> Optional[Dict[str, float]]:
+        """Claim the commit-timeline stamps recorded for ``waiter``.
+
+        Pure bookkeeping for blocked-on attribution; returns ``None`` when
+        tracing was off or the stamps were cleared by a leadership change.
+        """
+        return self._commit_stats.pop(waiter, None)
 
     def read_barrier(self):
         """§5.1.3 follower/learner read: learn the leader's commitIndex
@@ -283,6 +299,7 @@ class RaftNode:
                 waiter.fail(error)
                 waiter.defused()
         self._waiters.clear()
+        self._commit_stats.clear()
 
     # -- message handling -------------------------------------------------------------
 
@@ -411,8 +428,17 @@ class RaftNode:
             span = tracer.begin("raft.flush", self.sim.now, category="raft",
                                 host=self.host.name)
             span.annotate(entries=len(batch))
+            flush_start = self.sim.now
             yield from self.host.fsync()
-            tracer.end(span, self.sim.now)
+            flush_end = self.sim.now
+            tracer.end(span, flush_end)
+            stats = self._commit_stats
+            if stats:
+                for _command, waiter in batch:
+                    entry_stats = stats.get(waiter)
+                    if entry_stats is not None:
+                        entry_stats["flush_start"] = flush_start
+                        entry_stats["flush_end"] = flush_end
         else:
             yield from self.host.fsync()
         if not self._pending:
@@ -561,7 +587,18 @@ class RaftNode:
 
     def _query_commit_index(self, leader: "RaftNode"):
         """One batched commitIndex query: an RTT to the leader."""
-        yield from self.group.network.transit()
-        target = leader.commit_index
-        yield from self.group.network.transit()
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            span = tracer.begin("raft.readindex", self.sim.now,
+                                category="raft", host=self.host.name)
+            sent_us = self.sim._now
+            yield from self.group.network.transit()
+            target = leader.commit_index
+            yield from self.group.network.transit()
+            tracer.charge("wire", self.sim._now - sent_us, self.host.name)
+            tracer.end(span, self.sim.now)
+        else:
+            yield from self.group.network.transit()
+            target = leader.commit_index
+            yield from self.group.network.transit()
         return target

@@ -14,6 +14,7 @@ The :class:`CostModel` gathers every constant in one place so experiments
 from __future__ import annotations
 
 import dataclasses
+from typing import Dict, Iterable, Tuple
 
 from repro.errors import ServiceUnavailableError
 from repro.sim.core import Simulator, Timeout
@@ -69,6 +70,96 @@ class CostModel:
         return dataclasses.replace(self, **overrides)
 
 
+#: What-if override components -> the CostModel fields they scale.  A
+#: component names one mechanically-improvable piece of the deployment
+#: (faster NVMe under the Raft log, kernel-bypass networking, a leaner
+#: request parser...), which usually covers several cost constants at once.
+COMPONENT_FIELDS = {
+    "proxy.cpu": ("proxy_overhead_us",),
+    "index.cpu": ("index_probe_us", "index_rpc_overhead_us",
+                  "cache_hit_us", "permission_check_us"),
+    "raft.cpu": ("raft_apply_us", "raft_msg_us"),
+    "raft.fsync": ("fsync_us",),
+    "tafdb.cpu": ("db_row_read_us", "db_row_write_us",
+                  "db_txn_overhead_us"),
+    "tafdb.fsync": ("db_commit_sync_us",),
+    "net.rtt": ("net_one_way_us",),
+    "data.io": ("data_io_small_us",),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class CostOverrides:
+    """A declarative "virtual speedup": per-component cost scale factors.
+
+    ``speedups`` maps a :data:`COMPONENT_FIELDS` component to a factor
+    ``f``; applying the overrides divides each of the component's cost
+    constants by ``f`` (``f=2.0`` halves the cost, ``f=0.5`` doubles it).
+    The scaled :class:`CostModel` then threads through the whole
+    deployment — hosts, network, Raft group, TafDB servers — exactly like
+    a hand-edited cost model would, so a what-if rerun measures the real
+    (queueing included) effect of the hypothesised change.
+    """
+
+    speedups: Tuple[Tuple[str, float], ...] = ()
+
+    @classmethod
+    def of(cls, **speedups: float) -> "CostOverrides":
+        return cls.parse(speedups)
+
+    @classmethod
+    def parse(cls, speedups: Dict[str, float]) -> "CostOverrides":
+        """Validate a {component: factor} mapping into overrides."""
+        items = []
+        for component, factor in sorted(speedups.items()):
+            if component not in COMPONENT_FIELDS:
+                known = ", ".join(sorted(COMPONENT_FIELDS))
+                raise ValueError(f"unknown override component "
+                                 f"{component!r}; known: {known}")
+            factor = float(factor)
+            if factor <= 0.0:
+                raise ValueError(f"{component}: speedup factor must be "
+                                 f"positive, got {factor}")
+            items.append((component, factor))
+        return cls(tuple(items))
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.speedups)
+
+    def __bool__(self) -> bool:
+        return bool(self.speedups)
+
+    def apply(self, costs: "CostModel") -> "CostModel":
+        """Return a copy of ``costs`` with every override applied."""
+        scaled = {}
+        for component, factor in self.speedups:
+            for field in COMPONENT_FIELDS[component]:
+                base = scaled.get(field, getattr(costs, field))
+                scaled[field] = base / factor
+        return costs.copy(**scaled) if scaled else costs
+
+
+def parse_speedup_args(args: "Iterable[str]") -> CostOverrides:
+    """Parse CLI ``component=FACTORx`` fragments into overrides.
+
+    Accepts ``raft.fsync=2x``, ``net.rtt=2``, ``tafdb.cpu=1.5x``; the
+    trailing ``x`` is optional.  Repeated components multiply.
+    """
+    speedups: Dict[str, float] = {}
+    for arg in args:
+        component, sep, factor_text = arg.partition("=")
+        if not sep or not component or not factor_text:
+            raise ValueError(f"bad speedup {arg!r}; expected "
+                             "component=FACTOR[x], e.g. raft.fsync=2x")
+        factor_text = factor_text.rstrip("xX")
+        try:
+            factor = float(factor_text)
+        except ValueError:
+            raise ValueError(f"bad speedup factor in {arg!r}") from None
+        speedups[component] = speedups.get(component, 1.0) * factor
+    return CostOverrides.parse(speedups)
+
+
 class Host:
     """A simulated server with ``cores`` CPU cores and one durable disk."""
 
@@ -102,7 +193,7 @@ class Host:
         if tracer.enabled:
             wait = self.sim._now - req._enqueue_time
             if wait > 0.0:
-                tracer.charge("queue", wait, self.name)
+                tracer.charge("queue", wait, self.name, resource="cpu")
         try:
             yield Timeout(self.sim, us)
             self.cpu_busy_us += us
@@ -142,7 +233,7 @@ class Host:
         if tracer.enabled:
             wait = self.sim._now - req._enqueue_time
             if wait > 0.0:
-                tracer.charge("queue", wait, self.name)
+                tracer.charge("queue", wait, self.name, resource="disk")
 
     def _record_fsync(self, us: float) -> None:
         tracer = self.sim.tracer

@@ -69,7 +69,7 @@ class Span:
 
     __slots__ = ("span_id", "parent_id", "name", "category", "host",
                  "start_us", "end_us", "attrs", "ok", "dyn_parent_id",
-                 "costs")
+                 "costs", "queue_res", "blocked")
 
     def __init__(self, span_id: int, parent_id: int, name: str,
                  category: str, host: Optional[str], start_us: float):
@@ -86,6 +86,20 @@ class Span:
         #: (cost-kind, host) -> simulated microseconds charged while this
         #: span was innermost; ``None`` until the first charge.
         self.costs: Optional[Dict[Tuple[str, Optional[str]], float]] = None
+        #: (resource, host) -> queue microseconds, refining the ``queue``
+        #: entries in :attr:`costs` by what was waited on (cpu/disk/latch).
+        #: A strict decomposition: summed per host it never exceeds the
+        #: host's ``queue`` cost.  ``None`` until the first tagged charge.
+        self.queue_res: Optional[Dict[Tuple[str, Optional[str]],
+                                      float]] = None
+        #: (cause-frame, cost-kind, host) -> microseconds this span spent
+        #: *blocked on another process's* work (e.g. a Raft commit wait
+        #: decomposed into batch-window queue / leader fsync / replication
+        #: wire).  Unlike :attr:`costs` these are a refinement of the
+        #: span's idle residual, not additional cost — the profiler
+        #: ignores them; the critical-path analyzer consumes them.
+        self.blocked: Optional[Dict[Tuple[str, str, Optional[str]],
+                                    float]] = None
 
     def add_cost(self, kind: str, host: Optional[str], us: float) -> None:
         """Accumulate ``us`` of ``kind`` cost (cpu/fsync/wire/queue)."""
@@ -94,6 +108,24 @@ class Span:
             costs = self.costs = {}
         key = (kind, host)
         costs[key] = costs.get(key, 0.0) + us
+
+    def add_queue_resource(self, resource: str, host: Optional[str],
+                           us: float) -> None:
+        """Refine a ``queue`` charge by the resource waited on."""
+        res = self.queue_res
+        if res is None:
+            res = self.queue_res = {}
+        key = (resource, host)
+        res[key] = res.get(key, 0.0) + us
+
+    def add_blocked(self, cause: str, kind: str, host: Optional[str],
+                    us: float) -> None:
+        """Accumulate blocked-on time attributed to ``cause``."""
+        blocked = self.blocked
+        if blocked is None:
+            blocked = self.blocked = {}
+        key = (cause, kind, host)
+        blocked[key] = blocked.get(key, 0.0) + us
 
     @property
     def duration_us(self) -> float:
@@ -130,11 +162,21 @@ class _NullSpan:
     duration_us = 0.0
     dyn_parent_id = 0
     costs = None
+    queue_res = None
+    blocked = None
 
     def annotate(self, **attrs) -> None:
         pass
 
     def add_cost(self, kind: str, host: Optional[str], us: float) -> None:
+        pass
+
+    def add_queue_resource(self, resource: str, host: Optional[str],
+                           us: float) -> None:
+        pass
+
+    def add_blocked(self, cause: str, kind: str, host: Optional[str],
+                    us: float) -> None:
         pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -178,7 +220,12 @@ class NullTracer:
     def bind(self, sim) -> None:
         pass
 
-    def charge(self, kind: str, us: float, host: Optional[str] = None) -> None:
+    def charge(self, kind: str, us: float, host: Optional[str] = None,
+               resource: Optional[str] = None) -> None:
+        pass
+
+    def charge_blocked(self, cause: str, kind: str, us: float,
+                       host: Optional[str] = None) -> None:
         pass
 
     @property
@@ -325,13 +372,20 @@ class Tracer:
         self.finished += 1
         self._ring.append(span)
 
-    def charge(self, kind: str, us: float, host: Optional[str] = None) -> None:
+    def charge(self, kind: str, us: float, host: Optional[str] = None,
+               resource: Optional[str] = None) -> None:
         """Attribute ``us`` simulated microseconds of ``kind`` cost.
 
         The charge lands on the innermost open span of the currently
         executing process; with no (sampled) span open it accrues to the
         tracer-level :attr:`unattributed` bucket so totals still reconcile
         against telemetry busy counters.
+
+        ``resource`` optionally names what a ``queue`` charge waited on
+        (``"cpu"`` / ``"disk"`` / ``"latch"``); the refinement is stored
+        alongside — never instead of — the plain ``queue`` cost, so the
+        profiler's totals are unchanged while the critical-path analyzer
+        can split queueing by its underlying bottleneck.
         """
         if us <= 0.0:
             return
@@ -341,10 +395,33 @@ class Tracer:
             top = stack[-1]
             if top is not NULL_SPAN:
                 top.add_cost(kind, host, us)
+                if resource is not None:
+                    top.add_queue_resource(resource, host, us)
                 return
         key = (host, kind)
         bucket = self.unattributed
         bucket[key] = bucket.get(key, 0.0) + us
+
+    def charge_blocked(self, cause: str, kind: str, us: float,
+                       host: Optional[str] = None) -> None:
+        """Attribute ``us`` of blocked-on time to the innermost open span.
+
+        Blocked-on edges decompose time a span spent waiting for *another
+        process* (a Raft commit, typically) into the costs that gated it.
+        They refine the span's idle residual rather than adding cost, so
+        they are stored in ``Span.blocked`` — invisible to the profiler's
+        conservation sums — and consumed only by
+        :mod:`repro.sim.critpath`.  With no span open the charge is
+        dropped: there is no waiting span to explain.
+        """
+        if us <= 0.0:
+            return
+        proc = self._sim._active_process if self._sim is not None else None
+        stack = self._stacks.get(proc)
+        if stack:
+            top = stack[-1]
+            if top is not NULL_SPAN:
+                top.add_blocked(cause, kind, host, us)
 
     def reset(self) -> None:
         """Drop every collected span (counters restart too)."""

@@ -128,6 +128,31 @@ class TafDBClient:
 
     # -- transactions ------------------------------------------------------------------
 
+    def _fanout_leg(self, verb: str, parent, gen):
+        """Wrap one parallel fan-out RPC so the critical path can see it.
+
+        2PC legs run in spawned processes, so their spans are dynamic
+        roots — outside the waiting op's tree, which would leave the
+        fan-out wait as unexplained idle on the critical path.  The
+        wrapper span records a ``join_to`` edge back to the fan-out wait
+        span; :mod:`repro.sim.critpath` follows it and folds the *gating*
+        leg (the one the AllOf actually waited on) into the op's path,
+        with the overlapped legs surfacing as off-path cost.  The cost
+        profiler ignores the edge — its per-tree conservation needs the
+        legs to stay roots.
+        """
+        tracer = self.sim.tracer
+        span = tracer.begin("fanout:" + verb, self.sim.now,
+                            category="txn", parent=parent)
+        span.annotate(join_to=parent.span_id)
+        try:
+            result = yield from gen
+        except BaseException:
+            tracer.end(span, self.sim.now, ok=False)
+            raise
+        tracer.end(span, self.sim.now)
+        return result
+
     def execute_txn(self, intents: Sequence[WriteIntent],
                     ctx: Optional[OpContext] = None):
         """Run one transaction; raises TransactionAbort on conflict.
@@ -187,15 +212,17 @@ class TafDBClient:
                           ctx: Optional[OpContext], span=None):
         tracer = self.sim.tracer
         shard_ids = sorted(by_shard)
-        prepares = [
-            self._guarded(self._prepare_one(txn_id, sid, by_shard[sid], ctx))
-            for sid in shard_ids
-        ]
         if span is not None:
             pspan = tracer.begin("tafdb.prepare", self.sim.now,
                                  category="txn", parent=span)
         else:
             pspan = None
+        legs = [self._prepare_one(txn_id, sid, by_shard[sid], ctx)
+                for sid in shard_ids]
+        if pspan is not None:
+            legs = [self._fanout_leg("prepare", pspan, leg)
+                    for leg in legs]
+        prepares = [self._guarded(leg) for leg in legs]
         outcomes = yield self.sim.all_of(
             [self.sim.process(p) for p in prepares])
         failures = [err for ok, err in outcomes if not ok]
@@ -227,8 +254,10 @@ class TafDBClient:
         rounds = []
         for shard_id in shard_ids:
             server = self.servers[self.partitioner.server_of_shard(shard_id)]
-            rounds.append(self._swallow(self.network.rpc(
-                server, verb, shard_id, txn_id, ctx=ctx)))
+            leg = self.network.rpc(server, verb, shard_id, txn_id, ctx=ctx)
+            if fspan is not None:
+                leg = self._fanout_leg(verb, fspan, leg)
+            rounds.append(self._swallow(leg))
         yield self.sim.all_of([self.sim.process(r) for r in rounds])
         if fspan is not None:
             tracer.end(fspan, self.sim.now)

@@ -110,7 +110,8 @@ class DBServer(Server):
         if tracer.enabled:
             wait = self.sim._now - req._enqueue_time
             if wait > 0.0:
-                tracer.charge("queue", wait, self.host.name)
+                tracer.charge("queue", wait, self.host.name,
+                              resource="latch")
         try:
             yield from self.host.work(
                 self.costs.db_row_read_us + self.costs.db_row_write_us)

@@ -1,0 +1,79 @@
+"""Direct unit tests for ``repro.experiments.exportutil``.
+
+Every ``mantle-exp`` artifact subcommand (trace, telemetry, profile,
+critpath) leans on these three helpers; their contract — sanitised
+default paths, validate-before-write, trailing-newline JSON — is pinned
+here so the commands cannot drift apart.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.exportutil import (
+    default_out,
+    ensure_valid,
+    write_json_payload,
+)
+
+
+class TestDefaultOut:
+    def test_joins_kind_and_name(self):
+        assert default_out("critpath", "fig14") == "critpath_fig14"
+
+    def test_suffix_appended_verbatim(self):
+        assert default_out("profile", "fig12",
+                           ".speedscope.json") == "profile_fig12.speedscope.json"
+
+    def test_sanitises_separators_and_spaces(self):
+        assert default_out("trace", "a/b c") == "trace_a_b_c"
+        assert "/" not in default_out("trace", "../../etc/passwd")
+
+
+class TestEnsureValid:
+    def test_no_problems_is_a_no_op(self):
+        assert ensure_valid([], "anything") is None
+
+    def test_raises_with_context_and_problems(self):
+        with pytest.raises(RuntimeError) as excinfo:
+            ensure_valid(["bad share", "missing frame"], "critpath.json")
+        message = str(excinfo.value)
+        assert "critpath.json" in message
+        assert "bad share; missing frame" in message
+
+    def test_truncates_past_limit(self):
+        problems = [f"p{i}" for i in range(8)]
+        with pytest.raises(RuntimeError, match=r"\(\+3 more\)"):
+            ensure_valid(problems, "payload")
+
+    def test_custom_limit(self):
+        with pytest.raises(RuntimeError, match=r"p0 \(\+2 more\)"):
+            ensure_valid(["p0", "p1", "p2"], "payload", limit=1)
+
+
+class TestWriteJsonPayload:
+    def test_round_trips_and_returns_payload(self, tmp_path):
+        path = tmp_path / "out.json"
+        payload = {"centers": [{"share": 0.5}], "ops": 3}
+        assert write_json_payload(str(path), payload) is payload
+        assert json.loads(path.read_text()) == payload
+
+    def test_ends_with_newline(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_json_payload(str(path), [1, 2])
+        assert path.read_text().endswith("\n")
+
+    def test_non_serialisable_values_fall_back_to_str(self, tmp_path):
+        class Opaque:
+            def __str__(self):
+                return "opaque-object"
+
+        path = tmp_path / "out.json"
+        write_json_payload(str(path), {"value": Opaque()})
+        assert json.loads(path.read_text()) == {"value": "opaque-object"}
+
+    def test_overwrites_existing_file(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_json_payload(str(path), {"old": True})
+        write_json_payload(str(path), {"new": True})
+        assert json.loads(path.read_text()) == {"new": True}
