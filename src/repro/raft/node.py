@@ -110,6 +110,10 @@ class RaftNode:
         #: events carry ``__slots__``, hence this side table.
         self._commit_stats: Dict[Any, Dict[str, float]] = {}
         self._election_deadline = self._fresh_election_deadline()
+        #: Open ``raft.election`` span (tracer-gated): begun when this node
+        #: becomes a candidate, closed when the candidacy resolves (won /
+        #: lost / superseded by a fresh election / node stopped).
+        self._election_span = None
         self._heartbeat_deadline: Optional[float] = None
         self._flush_deadline: Optional[float] = None
         self._apply_signal = self.sim.event()
@@ -124,7 +128,10 @@ class RaftNode:
         self.entries_flushed = 0
         self.elections_started = 0
         self.applied_count = 0
-        self._proc = self.sim.process(self._main_loop(), name=f"raft-{node_id}")
+        # The node's event loop is host-local work: pin it to the host's
+        # scheduler lane under the lane-sharded kernel.
+        self._proc = self.sim.process(self._main_loop(),
+                                      name=f"raft-{node_id}", lane=host.lane)
 
     # -- public API ----------------------------------------------------------
 
@@ -179,6 +186,7 @@ class RaftNode:
     def stop(self) -> None:
         """Shut the node down (failure injection / cluster teardown)."""
         self._stopped = True
+        self._close_election_span("stopped")
         self._fail_waiters(NotLeaderError(None))
         self._proc.interrupt("stop")
 
@@ -248,6 +256,16 @@ class RaftNode:
         self.voted_for = self.id
         self._votes = {self.id}
         self.elections_started += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            # One span per candidacy, from candidacy to resolution: the
+            # vote fsync and RequestVote fan-out nest under it, so a traced
+            # failover shows where the unavailability window went.
+            self._close_election_span("superseded")
+            span = tracer.begin("raft.election", self.sim.now,
+                                category="raft", host=self.host.name)
+            span.annotate(term=self.current_term, node=self.id)
+            self._election_span = span
         self._election_deadline = self._fresh_election_deadline()
         # Persist the vote (term/votedFor are durable Raft state).
         yield from self.host.fsync()
@@ -260,7 +278,18 @@ class RaftNode:
                     self.current_term, self.id,
                     self.log.last_index, self.log.last_term))
 
+    def _close_election_span(self, outcome: str) -> None:
+        """End the open candidacy span, if any (pure bookkeeping)."""
+        span = self._election_span
+        if span is not None:
+            self._election_span = None
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                span.annotate(outcome=outcome)
+                tracer.end(span, self.sim.now, ok=outcome == "won")
+
     def _become_leader(self) -> None:
+        self._close_election_span("won")
         self.role = Role.LEADER
         self.leader_hint = self.id
         last = self.log.last_index
@@ -277,6 +306,7 @@ class RaftNode:
             self._pending.insert(0, (NOOP_COMMAND, noop_waiter))
 
     def _step_down(self, term: int, leader_hint: Optional[int] = None) -> None:
+        self._close_election_span("lost")
         self.current_term = term
         self.voted_for = None
         if not self.is_learner:
@@ -587,18 +617,22 @@ class RaftNode:
 
     def _query_commit_index(self, leader: "RaftNode"):
         """One batched commitIndex query: an RTT to the leader."""
+        if self.sim._lane_mode:
+            there, back = leader.host.lane, self.host.lane
+        else:
+            there = back = None
         tracer = self.sim.tracer
         if tracer.enabled:
             span = tracer.begin("raft.readindex", self.sim.now,
                                 category="raft", host=self.host.name)
             sent_us = self.sim._now
-            yield from self.group.network.transit()
+            yield from self.group.network.transit(there)
             target = leader.commit_index
-            yield from self.group.network.transit()
+            yield from self.group.network.transit(back)
             tracer.charge("wire", self.sim._now - sent_us, self.host.name)
             tracer.end(span, self.sim.now)
         else:
-            yield from self.group.network.transit()
+            yield from self.group.network.transit(there)
             target = leader.commit_index
-            yield from self.group.network.transit()
+            yield from self.group.network.transit(back)
         return target

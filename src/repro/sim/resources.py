@@ -4,6 +4,14 @@
 single write head, or a latch: ``capacity`` concurrent holders, FIFO queueing.
 :class:`Store` is an unbounded FIFO mailbox used for asynchronous message
 passing (Raft RPCs, background compaction queues).
+
+Under the lane-sharded kernel (``MANTLE_SIM_LANES``) nothing here changes:
+grants and mailbox wakeups are zero-delay pushes through ``sim._micro``,
+which stays the one global FIFO deque in every mode — same-timestamp work
+is lane-agnostic.  Only *delayed* events (the holder's ``Host.work`` /
+``fsync`` timeouts) live on a lane heap, and those land on the owning
+host's lane because the resume that schedules them runs as that host's
+heap event.
 """
 
 from __future__ import annotations

@@ -8,6 +8,10 @@ tests pin that down at three levels:
 * a kernel-level trace with the ``Simulator(fast_paths=...)`` kwarg,
 * a full mdtest run toggled via the ``MANTLE_SIM_FAST`` env flag,
 * fig12 at quick scale, run twice and against the legacy kernel.
+
+``TestLaneKernelDeterminism`` extends the gate to the lane-sharded kernel
+(``MANTLE_SIM_LANES``): per-host lanes and capped lanes must reproduce the
+single-loop kernels' results exactly, on mdtest and on a full figure.
 """
 
 import pytest
@@ -80,6 +84,9 @@ class TestFastPathDeterminism:
             fast_paths=False)
 
     def test_env_flag_disables_fast_paths(self, monkeypatch):
+        # Lane mode forces the two-tier scheduler, so it must be off for
+        # MANTLE_SIM_FAST=0 to reach the legacy kernel.
+        monkeypatch.delenv("MANTLE_SIM_LANES", raising=False)
         monkeypatch.setenv("MANTLE_SIM_FAST", "0")
         assert Simulator()._fast is False
         monkeypatch.setenv("MANTLE_SIM_FAST", "1")
@@ -133,3 +140,41 @@ class TestFastPathDeterminism:
         monkeypatch.setenv("MANTLE_SIM_FAST", "0")
         legacy = _fig12_rows()
         assert first == legacy
+
+
+class TestLaneKernelDeterminism:
+    """The lane-sharded kernel (``MANTLE_SIM_LANES``) is the third A/B
+    point: per-host event lanes, same simulated history bit-for-bit."""
+
+    def test_mdtest_metrics_identical_lanes_vs_global(self, monkeypatch):
+        monkeypatch.delenv("MANTLE_SIM_LANES", raising=False)
+        single = _mdtest_fingerprint()
+        monkeypatch.setenv("MANTLE_SIM_LANES", "1")
+        lanes = _mdtest_fingerprint()
+        assert lanes == single
+
+    def test_mdtest_metrics_identical_with_lane_cap(self, monkeypatch):
+        # A lane cap changes only which heap an event waits in (hosts
+        # round-robin over N lanes), never the execution order.
+        monkeypatch.setenv("MANTLE_SIM_LANES", "1")
+        per_host = _mdtest_fingerprint()
+        monkeypatch.setenv("MANTLE_SIM_LANES", "3")
+        capped = _mdtest_fingerprint()
+        assert capped == per_host
+
+    def test_mdtest_metrics_identical_lanes_vs_legacy(self, monkeypatch):
+        # All three kernels agree: the lane kernel is transitively pinned
+        # against the legacy all-heap scheduler too.
+        monkeypatch.delenv("MANTLE_SIM_LANES", raising=False)
+        monkeypatch.setenv("MANTLE_SIM_FAST", "0")
+        legacy = _mdtest_fingerprint()
+        monkeypatch.setenv("MANTLE_SIM_LANES", "1")
+        lanes = _mdtest_fingerprint()
+        assert lanes == legacy
+
+    def test_fig12_quick_identical_under_lanes(self, monkeypatch):
+        monkeypatch.delenv("MANTLE_SIM_LANES", raising=False)
+        single = _fig12_rows()
+        monkeypatch.setenv("MANTLE_SIM_LANES", "1")
+        lanes = _fig12_rows()
+        assert lanes == single

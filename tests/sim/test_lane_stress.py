@@ -1,0 +1,193 @@
+"""Randomized differential stress: lane kernel vs the single-loop kernels.
+
+Each seed expands into a scenario *plan* — plain data: hosts, servers,
+client scripts, store ping-pongs, interrupts, standing watchdogs — before
+any simulator exists, so every kernel replays the identical workload.  The
+executed event trace (timestamps, actors, values) and the final clock must
+be bit-identical across ``MANTLE_SIM_LANES`` on/off x ``MANTLE_SIM_FAST``
+on/off; any divergence is a lane-kernel ordering bug, and the seed
+reproduces it.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.core import AnyOf, Interrupt, Simulator
+from repro.sim.host import Host
+from repro.sim.network import Network, Server
+from repro.sim.resources import Store
+
+
+class _Echo(Server):
+    def __init__(self, host, work_us):
+        super().__init__(host)
+        self.work_us = work_us
+
+    def rpc_echo(self, value):
+        yield from self.host.work(self.work_us)
+        return value
+
+
+def _scenario(seed):
+    """Expand ``seed`` into a kernel-independent scenario plan."""
+    rng = random.Random(seed)
+    num_hosts = rng.randint(2, 6)
+    plan = {
+        "num_hosts": num_hosts,
+        "cores": [rng.randint(1, 4) for _ in range(num_hosts)],
+        "work_us": [round(rng.uniform(1.0, 20.0), 3)
+                    for _ in range(num_hosts)],
+        "jitter": rng.choice([0.0, 0.0, 0.25]),
+        "net_seed": rng.randint(0, 10_000),
+        "watchdogs": [(rng.randrange(num_hosts),
+                       round(rng.uniform(500.0, 2_000.0), 3))
+                      for _ in range(rng.randint(0, 12))],
+        "clients": [],
+        "pairs": [],
+        "interrupts": [],
+    }
+    for cid in range(rng.randint(2, 8)):
+        ops = []
+        for _ in range(rng.randint(3, 8)):
+            kind = rng.choice(["sleep", "work", "rpc", "rpc", "fsync",
+                               "anyof"])
+            if kind == "sleep":
+                ops.append(("sleep", round(rng.uniform(0.0, 30.0), 3)))
+            elif kind == "work":
+                ops.append(("work", round(rng.uniform(0.5, 10.0), 3)))
+            elif kind == "rpc":
+                ops.append(("rpc", rng.randrange(num_hosts)))
+            elif kind == "fsync":
+                ops.append(("fsync",))
+            else:
+                ops.append(("anyof", sorted(
+                    round(rng.uniform(1.0, 25.0), 3)
+                    for _ in range(rng.randint(2, 3)))))
+        plan["clients"].append({
+            "home": rng.randrange(num_hosts),
+            "phase": round(rng.uniform(0.0, 10.0), 3),
+            "ops": ops,
+        })
+    for pid in range(rng.randint(0, 2)):
+        plan["pairs"].append({
+            "producer_home": rng.randrange(num_hosts),
+            "consumer_home": rng.randrange(num_hosts),
+            "items": rng.randint(1, 4),
+            "gaps": [round(rng.uniform(1.0, 40.0), 3)
+                     for _ in range(4)],
+        })
+    for sid in range(rng.randint(0, 2)):
+        plan["interrupts"].append({
+            "victim_home": rng.randrange(num_hosts),
+            "at": round(rng.uniform(5.0, 200.0), 3),
+        })
+    return plan
+
+
+def _run(plan, **sim_kwargs):
+    """Replay ``plan`` on one kernel; return (trace, final sim.now)."""
+    sim = Simulator(**sim_kwargs)
+    net = Network(sim, one_way_us=50.0, jitter_frac=plan["jitter"],
+                  seed=plan["net_seed"])
+    hosts = [Host(sim, f"h{i}", cores=plan["cores"][i], fsync_us=80.0)
+             for i in range(plan["num_hosts"])]
+    servers = [_Echo(host, plan["work_us"][i])
+               for i, host in enumerate(hosts)]
+    trace = []
+
+    for hid, delay in plan["watchdogs"]:
+        # Standing timers: fire late, to nobody, on the host's lane.
+        sim.timeout_into(hosts[hid].lane, delay)
+
+    def client(cid, spec):
+        home = hosts[spec["home"]]
+        yield sim.timeout(spec["phase"])
+        for idx, op in enumerate(spec["ops"]):
+            kind = op[0]
+            if kind == "sleep":
+                yield sim.timeout(op[1])
+                trace.append((sim.now, cid, idx, "slept"))
+            elif kind == "work":
+                yield from home.work(op[1])
+                trace.append((sim.now, cid, idx, "worked"))
+            elif kind == "fsync":
+                yield from home.fsync()
+                trace.append((sim.now, cid, idx, "synced"))
+            elif kind == "rpc":
+                reply = yield from net.rpc(servers[op[1]], "echo",
+                                           (cid, idx))
+                trace.append((sim.now, cid, idx, "rpc", reply))
+            else:
+                first, _ = yield AnyOf(
+                    sim, [sim.timeout(d) for d in op[1]])
+                trace.append((sim.now, cid, idx, "anyof", first))
+
+    def producer(pid, spec, store):
+        home = hosts[spec["producer_home"]]
+        for i in range(spec["items"]):
+            yield sim.timeout(spec["gaps"][i])
+            yield from home.work(1.0)
+            store.put((pid, i))
+            trace.append((sim.now, "put", pid, i))
+
+    def consumer(pid, spec, store):
+        for _ in range(spec["items"]):
+            value = yield store.get()
+            trace.append((sim.now, "got", pid, value))
+
+    def sleeper(sid):
+        try:
+            yield sim.timeout(10_000.0)
+            trace.append((sim.now, sid, "overslept"))
+        except Interrupt as exc:
+            trace.append((sim.now, sid, "interrupted", str(exc.cause)))
+
+    def interrupter(victim, at, sid):
+        yield sim.timeout(at)
+        victim.interrupt(f"poke-{sid}")
+
+    for cid, spec in enumerate(plan["clients"]):
+        sim.process(client(cid, spec), name=f"client-{cid}",
+                    lane=hosts[spec["home"]].lane)
+    for pid, spec in enumerate(plan["pairs"]):
+        store = Store(sim)
+        sim.process(producer(pid, spec, store), name=f"prod-{pid}",
+                    lane=hosts[spec["producer_home"]].lane)
+        sim.process(consumer(pid, spec, store), name=f"cons-{pid}",
+                    lane=hosts[spec["consumer_home"]].lane)
+    for sid, spec in enumerate(plan["interrupts"]):
+        victim = sim.process(sleeper(sid), name=f"sleeper-{sid}",
+                             lane=hosts[spec["victim_home"]].lane)
+        sim.process(interrupter(victim, spec["at"], sid))
+    sim.run()
+    return trace, sim.now
+
+
+# (lanes, fast_paths) points: single loop legacy/fast, per-host lanes on
+# both fast_paths settings (lanes force the two-tier scheduler), capped.
+_MODES = [
+    {"lanes": 0, "fast_paths": False},
+    {"lanes": True, "fast_paths": True},
+    {"lanes": True, "fast_paths": False},
+    {"lanes": 3, "fast_paths": True},
+]
+
+
+class TestLaneDifferentialStress:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_trace_identical_across_kernels(self, seed):
+        plan = _scenario(seed)
+        reference = _run(plan, lanes=0, fast_paths=True)
+        for kwargs in _MODES:
+            assert _run(plan, **kwargs) == reference, (seed, kwargs)
+
+    def test_trace_identical_across_env_matrix(self, monkeypatch):
+        plan = _scenario(1234)
+        results = {}
+        for lanes in ("0", "1"):
+            for fast in ("0", "1"):
+                monkeypatch.setenv("MANTLE_SIM_LANES", lanes)
+                monkeypatch.setenv("MANTLE_SIM_FAST", fast)
+                results[(lanes, fast)] = _run(plan)
+        assert len(set(map(repr, results.values()))) == 1

@@ -1,0 +1,263 @@
+"""Unit tests for the lane-sharded kernel (``Simulator(lanes=...)``).
+
+Lane selection, host-lane assignment, cross-lane routing via
+``timeout_into``, bootstrap placement of pinned processes, and the
+``lane_switches`` health counter.  Ordering equivalence at scale is pinned
+by the differential stress suite (``test_lane_stress``) and the experiment
+determinism gate (``tests/experiments/test_fastpath_determinism``).
+"""
+
+import pytest
+
+from repro.sim.core import SimulationError, Simulator
+from repro.sim.host import Host
+from repro.sim.network import Network, Server
+
+
+class TestLaneSelection:
+    def test_default_is_single_loop(self, monkeypatch):
+        monkeypatch.delenv("MANTLE_SIM_LANES", raising=False)
+        sim = Simulator()
+        assert sim._lane_mode is False
+        assert sim.lane_count == 1
+
+    @pytest.mark.parametrize("raw,mode,cap", [
+        ("0", False, None),
+        ("false", False, None),
+        ("off", False, None),
+        ("1", True, None),
+        ("true", True, None),
+        ("auto", True, None),
+        ("3", True, 3),
+        ("8", True, 8),
+    ])
+    def test_env_flag_parsing(self, monkeypatch, raw, mode, cap):
+        monkeypatch.setenv("MANTLE_SIM_LANES", raw)
+        sim = Simulator()
+        assert sim._lane_mode is mode
+        assert sim._lane_cap == cap
+
+    def test_kwarg_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("MANTLE_SIM_LANES", "1")
+        assert Simulator(lanes=False)._lane_mode is False
+        monkeypatch.setenv("MANTLE_SIM_LANES", "0")
+        assert Simulator(lanes=True)._lane_mode is True
+        assert Simulator(lanes=4)._lane_cap == 4
+
+    def test_lane_mode_implies_fast_scheduler(self):
+        # The A/B axis for lanes is lanes on/off; lanes are built on the
+        # two-tier scheduler and override fast_paths=False.
+        sim = Simulator(fast_paths=False, lanes=True)
+        assert sim._fast is True
+        assert sim._lane_mode is True
+
+
+class TestHostLaneAssignment:
+    def test_each_host_gets_a_fresh_lane(self):
+        sim = Simulator(lanes=True)
+        hosts = [Host(sim, f"h{i}") for i in range(4)]
+        assert [h.lane for h in hosts] == [1, 2, 3, 4]
+        assert sim.lane_count == 5  # + driver lane 0
+
+    def test_same_name_reuses_lane(self):
+        sim = Simulator(lanes=True)
+        assert sim.host_lane("a") == sim.host_lane("a") == 1
+
+    def test_cap_round_robins_past_limit(self):
+        sim = Simulator(lanes=3)
+        lanes = [sim.host_lane(f"h{i}") for i in range(7)]
+        assert lanes == [1, 2, 3, 1, 2, 3, 1]
+        assert sim.lane_count == 4  # driver + 3 host lanes
+
+    def test_single_loop_mode_maps_everything_to_lane_zero(self):
+        # Pin lanes off explicitly so the test holds under a
+        # MANTLE_SIM_LANES=1 environment (e.g. the CI lane-smoke job).
+        sim = Simulator(lanes=0)
+        assert sim.host_lane("a") == sim.host_lane("b") == 0
+        assert Host(sim, "c").lane == 0
+
+
+class TestTimeoutInto:
+    def test_routes_to_target_lane_heap(self):
+        sim = Simulator(lanes=True)
+        host = Host(sim, "a")
+        t = sim.timeout_into(host.lane, 5.0)
+        heap = sim._lheaps[host.lane]
+        assert len(heap) == 1 and heap[0][2] is t
+        assert not sim._lheaps[0]
+
+    def test_zero_delay_is_lane_agnostic(self):
+        # A zero-delay flight goes through the global microtask deque,
+        # exactly as sim.timeout(0) would.
+        sim = Simulator(lanes=True)
+        host = Host(sim, "a")
+        t = sim.timeout_into(host.lane, 0.0)
+        assert t in sim._micro
+        assert not sim._lheaps[host.lane]
+
+    def test_current_lane_falls_back_to_timeout(self):
+        sim = Simulator(lanes=True)
+        t = sim.timeout_into(0, 5.0)  # driver lane is current at t=0
+        assert sim._lheaps[0][0][2] is t
+
+    def test_single_loop_mode_ignores_lane(self):
+        sim = Simulator(lanes=0)
+        fired = []
+
+        def body():
+            yield sim.timeout_into(7, 5.0)
+            fired.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert fired == [5.0]
+
+    def test_negative_delay_raises(self):
+        sim = Simulator(lanes=True)
+        Host(sim, "a")
+        with pytest.raises(SimulationError):
+            sim.timeout_into(1, -1.0)
+
+    def test_cross_lane_timers_fire_in_global_time_order(self):
+        sim = Simulator(lanes=True)
+        hosts = [Host(sim, f"h{i}") for i in range(3)]
+        fired = []
+
+        def waiter(tag, lane, delay):
+            yield sim.timeout_into(lane, delay)
+            fired.append((sim.now, tag))
+
+        # Interleaved deadlines across three lanes plus the driver lane.
+        delays = [(0, hosts[0].lane, 5.0), (1, hosts[1].lane, 3.0),
+                  (2, hosts[2].lane, 4.0), (3, 0, 1.0),
+                  (4, hosts[0].lane, 2.0), (5, hosts[2].lane, 6.0)]
+        for tag, lane, delay in delays:
+            sim.process(waiter(tag, lane, delay))
+        sim.run()
+        assert fired == [(1.0, 3), (2.0, 4), (3.0, 1),
+                         (4.0, 2), (5.0, 0), (6.0, 5)]
+
+
+class TestLanePlacement:
+    def test_process_lane_hint_places_first_timer(self):
+        sim = Simulator(lanes=True)
+        host = Host(sim, "a")
+
+        def body():
+            yield sim.timeout(10.0)
+
+        sim.process(body(), lane=host.lane)
+        sim._step()  # run the (lane-binding) bootstrap microtask
+        assert len(sim._lheaps[host.lane]) == 1
+        assert not sim._lheaps[0]
+
+    def test_unhinted_process_starts_on_current_lane(self):
+        sim = Simulator(lanes=True)
+        Host(sim, "a")
+
+        def body():
+            yield sim.timeout(10.0)
+
+        sim.process(body())
+        sim._step()
+        assert len(sim._lheaps[0]) == 1
+
+    def test_out_of_range_hint_is_ignored(self):
+        sim = Simulator(lanes=True)
+
+        def body():
+            yield sim.timeout(10.0)
+            return sim.now
+
+        proc = sim.process(body(), lane=99)
+        sim.run()
+        assert proc.value == 10.0
+
+    def test_hint_accepted_in_single_loop_mode(self):
+        sim = Simulator(lanes=0)
+
+        def body():
+            yield sim.timeout(3.0)
+            return sim.now
+
+        proc = sim.process(body(), lane=5)
+        sim.run()
+        assert proc.value == 3.0
+
+    def test_affinity_follows_rpc_flow(self):
+        # An RPC handler's delayed work runs on the server's lane; the
+        # response resumes the client on its own lane — no hints needed
+        # beyond initial placement.
+        sim = Simulator(lanes=True)
+        client_host = Host(sim, "client")
+        server_host = Host(sim, "server", cores=2)
+        net = Network(sim, one_way_us=50.0)
+        observed = []
+
+        class Echo(Server):
+            def rpc_echo(self, value):
+                yield from self.host.work(10.0)
+                observed.append(("handler", sim._current_lane))
+                return value
+
+        server = Echo(server_host)
+
+        def client():
+            reply = yield from net.rpc(server, "echo", 42)
+            observed.append(("reply", sim._current_lane, reply))
+
+        sim.process(client(), lane=client_host.lane)
+        sim.run()
+        assert observed == [("handler", server_host.lane),
+                            ("reply", client_host.lane, 42)]
+
+
+class TestLaneSwitches:
+    def test_switches_counted_across_lanes(self):
+        sim = Simulator(lanes=True)
+        hosts = [Host(sim, f"h{i}") for i in range(2)]
+
+        def ticker(lane, start):
+            for k in range(5):
+                yield sim.timeout_into(lane, 0.0 if k else start)
+                yield sim.timeout(2.0)
+
+        # Alternating timestamps on two lanes force a switch per event.
+        sim.process(ticker(hosts[0].lane, 1.0))
+        sim.process(ticker(hosts[1].lane, 2.0))
+        sim.run()
+        assert sim.lane_switches >= 8
+
+    def test_consecutive_same_lane_events_do_not_switch(self):
+        sim = Simulator(lanes=True)
+        host = Host(sim, "a")
+
+        def burst():
+            for _ in range(100):
+                yield sim.timeout(1.0)
+
+        sim.process(burst(), lane=host.lane)
+        sim.run()
+        # One switch to adopt the host lane; the burst then stays put.
+        assert sim.lane_switches <= 1
+
+
+class TestLaneStep:
+    def test_step_follows_global_time_seq_order(self):
+        # _lane_step (tests/tools single-step) must agree with the run
+        # loop: due heap entries in global (time, seq) order, then
+        # microtasks, then advance the clock.
+        sim = Simulator(lanes=True)
+        hosts = [Host(sim, f"h{i}") for i in range(2)]
+        fired = []
+
+        def waiter(tag, lane, delay):
+            yield sim.timeout_into(lane, delay)
+            fired.append((sim.now, tag))
+
+        sim.process(waiter("slow", hosts[0].lane, 5.0))
+        sim.process(waiter("quick", hosts[1].lane, 2.0))
+        for _ in range(20):
+            sim._step()
+        assert fired == [(2.0, "quick"), (5.0, "slow")]
+        assert sim.now == 5.0
