@@ -12,6 +12,7 @@ Run:  python examples/leader_failover.py
 from repro.bench.cluster import build_system
 from repro.errors import MetadataError
 from repro.sim.stats import OpContext
+from repro.ops import make_op
 
 
 def main() -> None:
@@ -26,14 +27,14 @@ def main() -> None:
             phase = "before" if sim.now < 40_000 else "after"
             ctx = OpContext("mkdir")
             try:
-                yield from system.submit(
-                    "mkdir", f"/prod/c{cid}_{i}", ctx=ctx)
+                yield from system.perform(make_op(
+                    "mkdir", f"/prod/c{cid}_{i}"), ctx=ctx)
                 completed[phase] += 1
             except MetadataError:
                 failed["count"] += 1
             ctx2 = OpContext("dirstat")
             try:
-                yield from system.submit("dirstat", "/prod", ctx=ctx2)
+                yield from system.perform(make_op("dirstat", "/prod"), ctx=ctx2)
             except MetadataError:
                 failed["count"] += 1
 

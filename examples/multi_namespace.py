@@ -12,11 +12,12 @@ Run:  python examples/multi_namespace.py
 from repro.core.config import MantleConfig
 from repro.core.multitenant import MantleDeployment
 from repro.sim.stats import OpContext
+from repro.ops import make_op
 
 
 def run_op(system, op, *args):
     ctx = OpContext(op)
-    return system.sim.run_process(system.submit(op, *args, ctx=ctx))
+    return system.sim.run_process(system.perform(make_op(op, *args), ctx=ctx))
 
 
 def main() -> None:

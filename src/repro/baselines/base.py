@@ -38,6 +38,12 @@ class MetadataSystem:
     def __init__(self, sim: Simulator, network: Network):
         self.sim = sim
         self.network = network
+        # Execution seam: domain code routes RPC/time/host-work through this
+        # object.  For a Simulator this is a SimRuntime (bit-identical to
+        # direct kernel calls); the live facade substitutes an AsyncioRuntime
+        # carried on the same attribute (see repro/runtime/).
+        from repro.runtime.base import default_runtime
+        self.runtime = default_runtime(sim, network)
         self._uuid_counter = itertools.count(1)
         self.data_access_enabled = False
 
@@ -114,15 +120,23 @@ class MetadataSystem:
         return result
 
     def submit(self, op: str, *args, ctx: Optional[OpContext] = None):
-        """Legacy stringly entry point (deprecated).
+        """Legacy stringly entry point — deprecated, emits DeprecationWarning.
 
-        Kept as a shim over :meth:`perform` so existing call sites (and the
-        uniform-driver tests) continue to work; new code should build a
+        A shim over :meth:`perform`; new code should build a
         :class:`repro.ops.Op` and call ``perform`` directly.  Raises
         ``ValueError`` for unknown operation names, as it always did.
+        Scheduled for removal once no in-repo caller remains (see
+        docs/observability.md, "Deprecations").
         """
-        result = yield from self.perform(make_op(op, *args), ctx=ctx)
-        return result
+        import warnings
+        warnings.warn(
+            "MetadataSystem.submit(name, *args) is deprecated; build a typed "
+            "repro.ops.Op and call perform(op) instead",
+            DeprecationWarning, stacklevel=2)
+        # Not itself a generator function: the warning fires at call time
+        # (with a stacklevel pointing at the caller), and the returned
+        # perform() generator drives exactly as before under ``yield from``.
+        return self.perform(make_op(op, *args), ctx=ctx)
 
     def data_access(self, ctx: OpContext):
         """One small-object data-service access: a single RPC plus tens of

@@ -105,6 +105,18 @@ class MantleClient:
         return OpResult(result, rpcs=ctx.rpcs, retries=ctx.retries,
                         latency_us=ctx.latency)
 
+    def perform(self, op: Op) -> Any:
+        """Run one typed op; mutations come back as :class:`OpResult`.
+
+        Same contract as ``repro.runtime.client.LiveClient.perform`` — the
+        agreement suite replays one trace through both.
+        """
+        result, ctx = self._run_ctx(op)
+        if isinstance(result, int) and not isinstance(result, bool):
+            return OpResult(result, rpcs=ctx.rpcs, retries=ctx.retries,
+                            latency_us=ctx.latency)
+        return result
+
     # -- namespace operations ------------------------------------------------------
 
     def mkdir(self, path: str, parents: bool = False) -> OpResult:

@@ -34,7 +34,6 @@ from repro.errors import (
     ServiceUnavailableError,
     TransactionAbort,
 )
-from repro.sim.host import Host
 from repro.sim.stats import (
     PHASE_EXECUTION,
     PHASE_LOOKUP,
@@ -64,8 +63,13 @@ class MantleProxy:
         self.network = service.network
         self.config = service.config
         self.costs = service.config.costs
-        self.host = Host(self.sim, f"proxy-{proxy_id}",
-                         cores=service.config.proxy_cores)
+        #: Execution environment (RPC, clock, host work): the system's
+        #: SimRuntime in a simulated deployment, an AsyncioRuntime inside a
+        #: ``mantle-serve`` proxy process.  Every op_* generator below goes
+        #: through this seam only, which is what lets the identical
+        #: orchestration code run live (docs/runtime.md).
+        self.runtime = service.runtime
+        self.host = service.proxy_host(proxy_id)
         self.db = service.tafdb.client()
         self._replica_rr = 0
         self._outstanding_lookups = 0
@@ -82,8 +86,7 @@ class MantleProxy:
     # -- IndexNode routing ----------------------------------------------------
 
     def _leader_service(self):
-        leader = self.service.index_group.leader_or_raise()
-        return self.service.index_services[leader.id]
+        return self.service.leader_service()
 
     def _lookup_service(self):
         """Pick a replica for a lookup.
@@ -117,7 +120,7 @@ class MantleProxy:
             cache_key, final_name = self._cache_key(path, want)
             cached = self.client_cache.get(cache_key)
             if cached is not None:
-                yield from self.host.work(self.costs.cache_hit_us)
+                yield from self.runtime.work(self.host, self.costs.cache_hit_us)
                 target_id, permission, depth = cached
                 from repro.indexnode.state import LookupOutcome
                 return LookupOutcome(
@@ -128,7 +131,7 @@ class MantleProxy:
             service = self._lookup_service()
             self._outstanding_lookups += 1
             try:
-                outcome = yield from self.network.rpc(
+                outcome = yield from self.runtime.rpc(
                     service, "lookup", path, want, ctx=ctx)
                 if self.client_cache is not None:
                     self.client_cache.put(
@@ -138,7 +141,7 @@ class MantleProxy:
                 return outcome
             except ServiceUnavailableError:
                 ctx.retries += 1
-                yield self.sim.timeout(self.db.backoff_us(attempt))
+                yield from self.runtime.sleep(self.db.backoff_us(attempt))
             finally:
                 self._outstanding_lookups -= 1
         raise ServiceUnavailableError("indexnode")
@@ -147,12 +150,12 @@ class MantleProxy:
         for attempt in range(4):
             try:
                 service = self._leader_service()
-                result = yield from self.network.rpc(
+                result = yield from self.runtime.rpc(
                     service, "mutate", command, ctx=ctx)
                 return result
             except ServiceUnavailableError:
                 ctx.retries += 1
-                yield self.sim.timeout(self.db.backoff_us(attempt))
+                yield from self.runtime.sleep(self.db.backoff_us(attempt))
         raise ServiceUnavailableError("indexnode leader")
 
     def _require(self, outcome, path: str, write: bool = False) -> None:
@@ -200,13 +203,13 @@ class MantleProxy:
             intents = list(static_intents)
             for parent_id, pending in parent_deltas.items():
                 if (use_delta_always
-                        or registry.is_delta_mode(parent_id, self.sim.now)):
+                        or registry.is_delta_mode(parent_id, self.runtime.now)):
                     intents.append(WriteIntent(
                         delta_key(parent_id, self.db.next_delta_ts()),
                         "insert",
                         AttrDelta(link_delta=pending.link_delta,
                                   entry_delta=pending.entry_delta,
-                                  mtime=self.sim.now)))
+                                  mtime=self.runtime.now)))
                 else:
                     row = yield from self.db.read(attr_key(parent_id), ctx=ctx)
                     if row is None:
@@ -214,7 +217,7 @@ class MantleProxy:
                     attrs = row.value.copy()
                     attrs.link_count += pending.link_delta
                     attrs.entry_count += pending.entry_delta
-                    attrs.mtime = self.sim.now
+                    attrs.mtime = self.runtime.now
                     intents.append(WriteIntent(
                         attr_key(parent_id), "update", attrs,
                         expect_version=row.version))
@@ -226,24 +229,24 @@ class MantleProxy:
                 if factory is not None and exc.reason in ("exists", "missing"):
                     raise factory() from exc
                 if exc.key is not None and exc.key.is_attr:
-                    registry.note_abort(exc.key.pid, self.sim.now)
+                    registry.note_abort(exc.key.pid, self.runtime.now)
                 ctx.retries += 1
                 attempt += 1
                 if attempt > self.config.max_txn_retries:
                     raise
-                yield self.sim.timeout(self.db.backoff_us(attempt))
+                yield from self.runtime.sleep(self.db.backoff_us(attempt))
 
     # -- object operations ------------------------------------------------------------
 
     def op_create(self, path: str, ctx: OpContext, size: int = 0):
-        yield from self.host.work(self.costs.proxy_overhead_us)
-        ctx.begin(PHASE_LOOKUP, self.sim.now)
+        yield from self.runtime.work(self.host, self.costs.proxy_overhead_us)
+        ctx.begin(PHASE_LOOKUP, self.runtime.now)
         parent = yield from self._index_lookup(path, "parent", ctx)
-        ctx.end(PHASE_LOOKUP, self.sim.now)
+        ctx.end(PHASE_LOOKUP, self.runtime.now)
         self._require(parent, path, write=True)
-        ctx.begin(PHASE_EXECUTION, self.sim.now)
+        ctx.begin(PHASE_EXECUTION, self.runtime.now)
         obj_id = self.service.ids.next()
-        now = self.sim.now
+        now = self.runtime.now
         dirent = Dirent(id=obj_id, kind=EntryKind.OBJECT,
                         attrs=AttrMeta(id=obj_id, kind=EntryKind.OBJECT,
                                        size=size, ctime=now, mtime=now))
@@ -253,7 +256,7 @@ class MantleProxy:
             {parent.target_id: _ParentDelta(entry_delta=1)},
             {key: lambda: AlreadyExistsError(path)},
             ctx, force_delta=True)
-        ctx.end(PHASE_EXECUTION, self.sim.now)
+        ctx.end(PHASE_EXECUTION, self.runtime.now)
         return obj_id
 
     def _read_dirent(self, parent, path: str, ctx: OpContext):
@@ -264,12 +267,12 @@ class MantleProxy:
         return row
 
     def op_delete(self, path: str, ctx: OpContext):
-        yield from self.host.work(self.costs.proxy_overhead_us)
-        ctx.begin(PHASE_LOOKUP, self.sim.now)
+        yield from self.runtime.work(self.host, self.costs.proxy_overhead_us)
+        ctx.begin(PHASE_LOOKUP, self.runtime.now)
         parent = yield from self._index_lookup(path, "parent", ctx)
-        ctx.end(PHASE_LOOKUP, self.sim.now)
+        ctx.end(PHASE_LOOKUP, self.runtime.now)
         self._require(parent, path, write=True)
-        ctx.begin(PHASE_EXECUTION, self.sim.now)
+        ctx.begin(PHASE_EXECUTION, self.runtime.now)
         row = yield from self._read_dirent(parent, path, ctx)
         if row.value.is_dir:
             raise IsADirectoryError(path)
@@ -279,16 +282,16 @@ class MantleProxy:
             {parent.target_id: _ParentDelta(entry_delta=-1)},
             {key: lambda: NoSuchPathError(path)},
             ctx, force_delta=True)
-        ctx.end(PHASE_EXECUTION, self.sim.now)
+        ctx.end(PHASE_EXECUTION, self.runtime.now)
         return row.value.id
 
     def op_objstat(self, path: str, ctx: OpContext):
-        yield from self.host.work(self.costs.proxy_overhead_us)
-        ctx.begin(PHASE_LOOKUP, self.sim.now)
+        yield from self.runtime.work(self.host, self.costs.proxy_overhead_us)
+        ctx.begin(PHASE_LOOKUP, self.runtime.now)
         parent = yield from self._index_lookup(path, "parent", ctx)
-        ctx.end(PHASE_LOOKUP, self.sim.now)
+        ctx.end(PHASE_LOOKUP, self.runtime.now)
         self._require(parent, path)
-        ctx.begin(PHASE_EXECUTION, self.sim.now)
+        ctx.begin(PHASE_EXECUTION, self.runtime.now)
         row = yield from self._read_dirent(parent, path, ctx)
         value = row.value
         if value.is_dir:
@@ -297,49 +300,49 @@ class MantleProxy:
                 raise NoSuchPathError(path)
         else:
             attrs = value.attrs
-        ctx.end(PHASE_EXECUTION, self.sim.now)
+        ctx.end(PHASE_EXECUTION, self.runtime.now)
         return make_stat(paths.normalize(path), attrs)
 
     # -- directory read operations -----------------------------------------------------
 
     def op_dirstat(self, path: str, ctx: OpContext):
-        yield from self.host.work(self.costs.proxy_overhead_us)
-        ctx.begin(PHASE_LOOKUP, self.sim.now)
+        yield from self.runtime.work(self.host, self.costs.proxy_overhead_us)
+        ctx.begin(PHASE_LOOKUP, self.runtime.now)
         target = yield from self._index_lookup(path, "dir", ctx)
-        ctx.end(PHASE_LOOKUP, self.sim.now)
+        ctx.end(PHASE_LOOKUP, self.runtime.now)
         self._require(target, path)
-        ctx.begin(PHASE_EXECUTION, self.sim.now)
+        ctx.begin(PHASE_EXECUTION, self.runtime.now)
         attrs = yield from self.db.read_dir_attrs(target.target_id, ctx=ctx)
         if attrs is None:
             raise NoSuchPathError(path)
-        ctx.end(PHASE_EXECUTION, self.sim.now)
+        ctx.end(PHASE_EXECUTION, self.runtime.now)
         return make_stat(paths.normalize(path), attrs)
 
     def op_readdir(self, path: str, ctx: OpContext, limit: Optional[int] = None,
                    start_after: Optional[str] = None):
-        yield from self.host.work(self.costs.proxy_overhead_us)
-        ctx.begin(PHASE_LOOKUP, self.sim.now)
+        yield from self.runtime.work(self.host, self.costs.proxy_overhead_us)
+        ctx.begin(PHASE_LOOKUP, self.runtime.now)
         target = yield from self._index_lookup(path, "dir", ctx)
-        ctx.end(PHASE_LOOKUP, self.sim.now)
+        ctx.end(PHASE_LOOKUP, self.runtime.now)
         self._require(target, path)
-        ctx.begin(PHASE_EXECUTION, self.sim.now)
+        ctx.begin(PHASE_EXECUTION, self.runtime.now)
         page = yield from self.db.scan_children(
             target.target_id, limit=limit, start_after=start_after, ctx=ctx)
-        ctx.end(PHASE_EXECUTION, self.sim.now)
+        ctx.end(PHASE_EXECUTION, self.runtime.now)
         return [name for name, _ in page]
 
     # -- directory modifications (§5.2) --------------------------------------------------
 
     def op_mkdir(self, path: str, ctx: OpContext,
                  permission: Permission = Permission.ALL):
-        yield from self.host.work(self.costs.proxy_overhead_us)
-        ctx.begin(PHASE_LOOKUP, self.sim.now)
+        yield from self.runtime.work(self.host, self.costs.proxy_overhead_us)
+        ctx.begin(PHASE_LOOKUP, self.runtime.now)
         parent = yield from self._index_lookup(path, "parent", ctx)
-        ctx.end(PHASE_LOOKUP, self.sim.now)
+        ctx.end(PHASE_LOOKUP, self.runtime.now)
         self._require(parent, path, write=True)
-        ctx.begin(PHASE_EXECUTION, self.sim.now)
+        ctx.begin(PHASE_EXECUTION, self.runtime.now)
         dir_id = self.service.ids.next()
-        now = self.sim.now
+        now = self.runtime.now
         key = dirent_key(parent.target_id, parent.final_name)
         dirent = Dirent(id=dir_id, kind=EntryKind.DIRECTORY,
                         permission=permission)
@@ -355,16 +358,16 @@ class MantleProxy:
         yield from self._index_mutate(
             ("mkdir", parent.target_id, parent.final_name, dir_id,
              int(permission)), ctx)
-        ctx.end(PHASE_EXECUTION, self.sim.now)
+        ctx.end(PHASE_EXECUTION, self.runtime.now)
         return dir_id
 
     def op_rmdir(self, path: str, ctx: OpContext):
-        yield from self.host.work(self.costs.proxy_overhead_us)
-        ctx.begin(PHASE_LOOKUP, self.sim.now)
+        yield from self.runtime.work(self.host, self.costs.proxy_overhead_us)
+        ctx.begin(PHASE_LOOKUP, self.runtime.now)
         parent = yield from self._index_lookup(path, "parent", ctx)
-        ctx.end(PHASE_LOOKUP, self.sim.now)
+        ctx.end(PHASE_LOOKUP, self.runtime.now)
         self._require(parent, path, write=True)
-        ctx.begin(PHASE_EXECUTION, self.sim.now)
+        ctx.begin(PHASE_EXECUTION, self.runtime.now)
         row = yield from self._read_dirent(parent, path, ctx)
         if not row.value.is_dir:
             raise NotADirectoryError(path, parent.final_name)
@@ -383,7 +386,7 @@ class MantleProxy:
             ("rmdir", parent.target_id, parent.final_name,
              paths.normalize(path)), ctx)
         self._client_cache_invalidate(paths.normalize(path))
-        ctx.end(PHASE_EXECUTION, self.sim.now)
+        ctx.end(PHASE_EXECUTION, self.runtime.now)
         return dir_id
 
     def _client_cache_invalidate(self, prefix: str) -> None:
@@ -392,11 +395,11 @@ class MantleProxy:
                 lambda key: paths.is_prefix(prefix, key))
 
     def op_setattr(self, path: str, permission: Permission, ctx: OpContext):
-        yield from self.host.work(self.costs.proxy_overhead_us)
-        ctx.begin(PHASE_LOOKUP, self.sim.now)
+        yield from self.runtime.work(self.host, self.costs.proxy_overhead_us)
+        ctx.begin(PHASE_LOOKUP, self.runtime.now)
         target = yield from self._index_lookup(path, "dir", ctx)
-        ctx.end(PHASE_LOOKUP, self.sim.now)
-        ctx.begin(PHASE_EXECUTION, self.sim.now)
+        ctx.end(PHASE_LOOKUP, self.runtime.now)
+        ctx.begin(PHASE_EXECUTION, self.runtime.now)
         parent = yield from self._index_lookup(path, "parent", ctx)
         # setattr is owner-gated in real systems (chmod), not write-gated —
         # gating on the target's own mask would lock a directory forever.
@@ -407,7 +410,7 @@ class MantleProxy:
             raise NoSuchPathError(path)
         attrs = row.value.copy()
         attrs.permission = permission
-        attrs.mtime = self.sim.now
+        attrs.mtime = self.runtime.now
         yield from self._txn_with_parents(
             [WriteIntent(attr_key(target.target_id), "update", attrs,
                          expect_version=row.version)],
@@ -416,30 +419,30 @@ class MantleProxy:
             ("setperm", parent.target_id, parent.final_name,
              int(permission), paths.normalize(path)), ctx)
         self._client_cache_invalidate(paths.normalize(path))
-        ctx.end(PHASE_EXECUTION, self.sim.now)
+        ctx.end(PHASE_EXECUTION, self.runtime.now)
         return make_stat(paths.normalize(path), attrs)
 
     def op_dirrename(self, src: str, dst: str, ctx: OpContext):
         """Cross-directory rename, Figure 9's full workflow."""
-        yield from self.host.work(self.costs.proxy_overhead_us)
+        yield from self.runtime.work(self.host, self.costs.proxy_overhead_us)
         owner = self.service.next_uuid()
         # Resolution is merged with loop detection on the IndexNode, so the
         # whole preparation is accounted to the loop-detection phase.
-        ctx.begin(PHASE_LOOP_DETECT, self.sim.now)
+        ctx.begin(PHASE_LOOP_DETECT, self.runtime.now)
         prep = None
         for attempt in range(self.config.max_rename_retries + 1):
             try:
                 service = self._leader_service()
-                prep = yield from self.network.rpc(
+                prep = yield from self.runtime.rpc(
                     service, "rename_prepare", src, dst, owner, ctx=ctx)
                 break
             except RenameLockConflict:
                 ctx.retries += 1
-                yield self.sim.timeout(self.db.backoff_us(attempt))
+                yield from self.runtime.sleep(self.db.backoff_us(attempt))
             except ServiceUnavailableError:
                 ctx.retries += 1
-                yield self.sim.timeout(self.db.backoff_us(attempt))
-        ctx.end(PHASE_LOOP_DETECT, self.sim.now)
+                yield from self.runtime.sleep(self.db.backoff_us(attempt))
+        ctx.end(PHASE_LOOP_DETECT, self.runtime.now)
         if prep is None:
             raise RenameLockConflict(src)
         if self.config.enforce_permissions:
@@ -450,7 +453,7 @@ class MantleProxy:
                      prep.src_path), ctx)
                 raise PermissionDeniedError(src, needed)
 
-        ctx.begin(PHASE_EXECUTION, self.sim.now)
+        ctx.begin(PHASE_EXECUTION, self.runtime.now)
         src_key = dirent_key(prep.src_pid, prep.src_name)
         dst_key = dirent_key(prep.dst_parent_id, prep.dst_name)
         moved = Dirent(id=prep.src_id, kind=EntryKind.DIRECTORY,
@@ -476,11 +479,11 @@ class MantleProxy:
             yield from self._index_mutate(
                 ("rename_abort", prep.src_pid, prep.src_name, owner,
                  prep.src_path), ctx)
-            ctx.end(PHASE_EXECUTION, self.sim.now)
+            ctx.end(PHASE_EXECUTION, self.runtime.now)
             raise
         yield from self._index_mutate(
             ("rename_commit", prep.src_pid, prep.src_name,
              prep.dst_parent_id, prep.dst_name), ctx)
         self._client_cache_invalidate(prep.src_path)
-        ctx.end(PHASE_EXECUTION, self.sim.now)
+        ctx.end(PHASE_EXECUTION, self.runtime.now)
         return prep.src_id

@@ -149,6 +149,22 @@ class MantleSystem(MetadataSystem):
         self._proxy_rr += 1
         return self.proxies[self._proxy_rr % len(self.proxies)]
 
+    def proxy_host(self, proxy_id: int) -> Host:
+        """The execution host backing proxy ``proxy_id``.
+
+        Simulated deployments build a fresh :class:`~repro.sim.host.Host`;
+        the live facade overrides this to hand out the process's single
+        :class:`~repro.runtime.live.LiveHost`.
+        """
+        return Host(self.sim, f"proxy-{proxy_id}",
+                    cores=self.config.proxy_cores)
+
+    def leader_service(self) -> IndexNodeService:
+        """The RPC target for the current IndexNode leader (raises
+        :class:`~repro.errors.ServiceUnavailableError` mid-election)."""
+        leader = self.index_group.leader_or_raise()
+        return self.index_services[leader.id]
+
     def lookup_services(self) -> List[IndexNodeService]:
         return [svc for svc in self.index_services.values()
                 if not svc.host.crashed]

@@ -21,6 +21,10 @@ The full hierarchy (every class derives from :class:`MetadataError`, so
     ├── RenameLockConflict         loop detection hit another rename's lock
     ├── TransactionAbort           TafDB optimistic-concurrency conflict
     ├── ServiceUnavailableError    no Raft leader / server crashed; retryable
+    │   └── TransportError         live-runtime transport fault (retryable)
+    │       ├── ConnectionLostError  TCP connect/reset/EOF mid-call
+    │       ├── RPCTimeoutError      response deadline expired
+    │       └── FrameError           truncated or malformed wire frame
     └── StaleReadError             replica applyIndex too old for the read
 
 Retry semantics: ``TransactionAbort``, ``RenameLockConflict``,
@@ -30,6 +34,19 @@ counts each retry.  The rest describe the namespace state and surface
 directly to the caller; :class:`~repro.core.api.MantleClient` lets them
 propagate (per-op in :meth:`~repro.core.api.MantleClient.batch`, where they
 land in ``BatchResult.error`` instead of raising).
+
+The :class:`TransportError` branch exists for the live asyncio runtime
+(``repro/runtime/``): a dropped connection, an expired RPC deadline or a
+truncated frame all map onto the same *logical* fault the simulator models
+with a crashed host — "the service did not answer; retry" — so every retry
+loop written against ``except ServiceUnavailableError`` handles live
+transport faults without modification, and
+:class:`~repro.runtime.client.LiveClient` raises the same exception types
+:class:`~repro.core.api.MantleClient` does for the same conditions.
+
+:func:`error_to_wire` / :func:`error_from_wire` round-trip this hierarchy
+across the JSON wire protocol so a server-side exception re-raises as the
+identical type (with its structured fields) in the calling client process.
 """
 
 
@@ -144,3 +161,110 @@ class StaleReadError(MetadataError):
         self.needed = needed
         self.have = have
         super().__init__(f"stale replica: need applyIndex>={needed}, have {have}")
+
+
+class TransportError(ServiceUnavailableError):
+    """A live-runtime transport fault.
+
+    Deliberately a :class:`ServiceUnavailableError`: the simulator models
+    "server did not answer" with crashed hosts, and every proxy retry loop
+    is written against that type — subclassing makes a real TCP fault take
+    the exact same retry path, with no live-only branches in domain code.
+    """
+
+    def __init__(self, what="transport", detail=""):
+        self.detail = detail
+        super().__init__(what)
+        if detail:
+            self.args = (f"{self.args[0]}: {detail}",)
+
+
+class ConnectionLostError(TransportError):
+    """TCP connect refused, reset, or EOF arrived mid-call."""
+
+    def __init__(self, endpoint, detail=""):
+        self.endpoint = endpoint
+        super().__init__(f"connection to {endpoint}", detail)
+
+
+class RPCTimeoutError(TransportError):
+    """The per-call response deadline expired."""
+
+    def __init__(self, endpoint, timeout_s=0.0):
+        self.endpoint = endpoint
+        self.timeout_s = timeout_s
+        super().__init__(f"rpc to {endpoint}",
+                         f"no response within {timeout_s:g}s")
+
+
+class FrameError(TransportError):
+    """A wire frame was truncated or failed to decode."""
+
+    def __init__(self, detail):
+        super().__init__("wire framing", detail)
+
+
+#: Exception class -> attribute names, in constructor-argument order.  Every
+#: attribute value must be JSON-encodable after the special cases handled in
+#: :func:`error_to_wire` (Permission masks and RowKeys).
+_WIRE_FIELDS = {
+    NoSuchPathError: ("path", "component"),
+    AlreadyExistsError: ("path",),
+    NotADirectoryError: ("path", "component"),
+    IsADirectoryError: ("path",),
+    NotEmptyError: ("path",),
+    PermissionDeniedError: ("path", "needed"),
+    RenameLoopError: ("src", "dst"),
+    InvalidPathError: ("path", "reason"),
+    TransactionAbort: ("reason", "key"),
+    RenameLockConflict: ("path",),
+    StaleReadError: ("needed", "have"),
+    ConnectionLostError: ("endpoint", "detail"),
+    RPCTimeoutError: ("endpoint", "timeout_s"),
+    FrameError: ("detail",),
+    TransportError: ("what", "detail"),
+    ServiceUnavailableError: ("what",),
+}
+
+_WIRE_CLASSES = {cls.__name__: cls for cls in _WIRE_FIELDS}
+
+
+def error_to_wire(exc: MetadataError) -> dict:
+    """Encode a metadata exception as a JSON-safe payload.
+
+    The payload carries the concrete class name plus its constructor
+    arguments, so :func:`error_from_wire` rebuilds the *same type* with the
+    same structured fields — which is what lets a LiveClient surface
+    server-side errors exactly as the in-process client would.
+    """
+    cls = type(exc)
+    fields = _WIRE_FIELDS.get(cls)
+    if fields is None:
+        # Unknown subclass: degrade to the message under the base type.
+        return {"error": "MetadataError", "args": [str(exc)]}
+    args = []
+    for field in fields:
+        value = getattr(exc, field, None)
+        if field == "needed" and cls is PermissionDeniedError \
+                and value is not None:
+            value = int(value)
+        elif field == "key" and value is not None:
+            value = [value.pid, value.name, value.ts]
+        args.append(value)
+    return {"error": cls.__name__, "args": args}
+
+
+def error_from_wire(payload: dict) -> MetadataError:
+    """Rebuild the exception :func:`error_to_wire` encoded."""
+    cls = _WIRE_CLASSES.get(payload.get("error", ""))
+    args = list(payload.get("args", []))
+    if cls is None:
+        return MetadataError(*(args or ["remote metadata error"]))
+    if cls is PermissionDeniedError and len(args) > 1 \
+            and args[1] is not None:
+        from repro.types import Permission
+        args[1] = Permission(args[1])
+    elif cls is TransactionAbort and len(args) > 1 and args[1] is not None:
+        from repro.tafdb.rows import RowKey
+        args[1] = RowKey(*args[1])
+    return cls(*args)

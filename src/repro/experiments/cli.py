@@ -311,11 +311,13 @@ def main(argv=None) -> int:
                                help="exit non-zero if the prediction "
                                     "error exceeds this fraction of the "
                                     "measured delta (e.g. 0.15)")
+    from repro.experiments.livecmd import add_live_parser, cmd_live
+    add_live_parser(sub)
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
                 "trace": _cmd_trace, "telemetry": _cmd_telemetry,
                 "profile": _cmd_profile, "critpath": _cmd_critpath,
-                "whatif": _cmd_whatif}
+                "whatif": _cmd_whatif, "live": cmd_live}
     return handlers[args.command](args)
 
 

@@ -20,6 +20,7 @@ from repro.core.config import MantleConfig
 from repro.core.multitenant import MantleDeployment
 from repro.experiments.base import pick, register
 from repro.sim.stats import OpContext
+from repro.ops import make_op
 
 
 def _measure(colocate: bool, victim_clients: int, neighbor_clients: int,
@@ -41,7 +42,7 @@ def _measure(colocate: bool, victim_clients: int, neighbor_clients: int,
         def client(system, count, sink):
             for _ in range(count):
                 ctx = OpContext("objstat")
-                yield from system.submit("objstat", "/w/obj", ctx=ctx)
+                yield from system.perform(make_op("objstat", "/w/obj"), ctx=ctx)
                 if sink is not None:
                     sink.append(ctx.latency)
 

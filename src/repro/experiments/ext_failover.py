@@ -16,6 +16,7 @@ from repro.bench.report import Table
 from repro.errors import MetadataError
 from repro.experiments.base import pick, register
 from repro.sim.stats import OpContext
+from repro.ops import make_op
 
 _WINDOW_US = 25_000.0
 
@@ -39,7 +40,7 @@ def run(scale: str = "quick") -> List[Table]:
             while sim.now - t0 < duration_us:
                 ctx = OpContext("objstat")
                 try:
-                    yield from system.submit("objstat", "/w/obj", ctx=ctx)
+                    yield from system.perform(make_op("objstat", "/w/obj"), ctx=ctx)
                     events.append((sim.now - t0, True))
                 except MetadataError:
                     events.append((sim.now - t0, False))

@@ -1,0 +1,229 @@
+"""``mantle-exp live`` — drive a real asyncio Mantle cluster.
+
+Two subtargets:
+
+* ``live smoke`` — start a cluster (three OS processes via ``mantle-serve``
+  by default, or in-process with ``--in-process``), push N operations
+  through :class:`~repro.runtime.client.LiveClient`, and fail unless every
+  op succeeds and every role exits cleanly.  This is the CI ``live-smoke``
+  job.
+
+* ``live fig12`` — the sim-vs-live companion to Figure 12's read path: the
+  same namespace is built and the same read mix is run through the
+  simulated deployment and a live cluster, and per-op latency is printed
+  side by side.  RPC rounds per op must agree exactly (same protocol, same
+  code); latency legitimately differs — that contrast, modelled cost vs.
+  a real event loop on localhost TCP, is the point of the table.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+from repro.bench.report import Table, print_tables
+from repro.core.api import MantleClient
+from repro.core.config import MantleConfig
+from repro.errors import MetadataError
+from repro.ops import DirStat, Mkdir, ObjStat, ReadDir
+
+#: fig12-companion namespace shape (quick scale).
+LIVE_DIRS = 8
+LIVE_OBJS_PER_DIR = 4
+
+
+def _start_cluster(in_process: bool, wal_dir=None):
+    """Returns (endpoint, stop_callable) for the chosen cluster flavour."""
+    if in_process:
+        from repro.runtime.live import InProcessCluster
+
+        cluster = InProcessCluster()
+        endpoint = cluster.start()
+        return endpoint, lambda: (cluster.stop(), {})[1]
+    from repro.runtime.live import ProcessCluster
+
+    cluster = ProcessCluster(wal_dir=wal_dir)
+    endpoint = cluster.start()
+    return endpoint, cluster.stop
+
+
+# -- live smoke --------------------------------------------------------------
+
+def run_live_smoke(args) -> int:
+    from repro.runtime.client import LiveClient
+
+    total_ops = args.ops
+    started = time.time()
+    endpoint, stop = _start_cluster(args.in_process, wal_dir=args.wal_dir)
+    flavour = "in-process" if args.in_process else "3 OS processes"
+    print(f"live-smoke: cluster up ({flavour}), proxy at {endpoint}")
+
+    errors: List[Tuple[str, str]] = []
+    completed = 0
+    try:
+        with LiveClient(endpoint) as client:
+            dirs = max(1, min(16, total_ops // 8))
+            for d in range(dirs):
+                client.mkdir(f"/smoke-{d}")
+                completed += 1
+            index = 0
+            while completed < total_ops:
+                d = index % dirs
+                obj = f"/smoke-{d}/obj-{index}"
+                # One op per iteration, cycling create -> stat -> list ->
+                # delete so the namespace stays bounded and every op is
+                # expected to succeed.
+                stage = completed % 4
+                try:
+                    if stage == 0:
+                        client.create(obj)
+                        last_obj = obj
+                        index += 1
+                    elif stage == 1:
+                        client.objstat(last_obj)
+                    elif stage == 2:
+                        client.listdir(f"/smoke-{d}")
+                    else:
+                        client.delete(last_obj)
+                except MetadataError as exc:
+                    errors.append((obj, f"{type(exc).__name__}: {exc}"))
+                completed += 1
+            metrics = client.metrics
+    finally:
+        codes = stop()
+    elapsed = time.time() - started
+
+    for path, message in errors[:10]:
+        print(f"live-smoke: ERROR at {path}: {message}")
+    dirty = {role: code for role, code in codes.items() if code != 0}
+    rate = completed / elapsed if elapsed > 0 else 0.0
+    print(f"live-smoke: {completed} ops in {elapsed:.1f}s "
+          f"({rate:,.0f} ops/s), {len(errors)} errors, "
+          f"shutdown codes {codes or '{in-process}'}")
+    if metrics.latency:
+        overall = sorted(s for rec in metrics.latency.values()
+                         for s in rec.samples)
+        mid = overall[len(overall) // 2] / 1000.0
+        print(f"live-smoke: median op latency {mid:.2f} ms")
+    if errors or dirty:
+        print("live-smoke: FAIL")
+        return 1
+    print("live-smoke: OK")
+    return 0
+
+
+# -- live fig12 companion ----------------------------------------------------
+
+def _build_namespace(client) -> List[str]:
+    paths = []
+    for d in range(LIVE_DIRS):
+        client.mkdir(f"/bench-{d}")
+        for o in range(LIVE_OBJS_PER_DIR):
+            path = f"/bench-{d}/obj-{o}"
+            client.create(path)
+            paths.append(path)
+    return paths
+
+
+def _read_mix(paths: List[str], ops: int) -> List:
+    mix = []
+    for i in range(ops):
+        path = paths[i % len(paths)]
+        kind = i % 4
+        if kind < 2:
+            mix.append(ObjStat(path))
+        elif kind == 2:
+            mix.append(DirStat(path.rsplit("/", 1)[0]))
+        else:
+            mix.append(ReadDir(path.rsplit("/", 1)[0]))
+    return mix
+
+
+def _drive(client, ops) -> None:
+    for op in ops:
+        client.perform(op)
+
+
+def run_live_fig12(args) -> int:
+    from repro.runtime.client import LiveClient
+
+    sim_client = MantleClient(MantleConfig.small())
+    paths = _build_namespace(sim_client)
+    sim_ops = _read_mix(paths, args.ops)
+    _drive(sim_client, sim_ops)
+    sim_metrics = sim_client.metrics
+    sim_client.close()
+
+    endpoint, stop = _start_cluster(not args.processes,
+                                    wal_dir=args.wal_dir)
+    try:
+        with LiveClient(endpoint) as live_client:
+            live_paths = _build_namespace(live_client)
+            assert live_paths == paths
+            _drive(live_client, _read_mix(live_paths, args.ops))
+            live_metrics = live_client.metrics
+    finally:
+        stop()
+
+    table = Table(
+        title="fig12 companion: read-path latency, simulated vs live (us)",
+        headers=("op", "n",
+                 "sim mean", "sim p50", "sim p99", "sim rpcs",
+                 "live mean", "live p50", "live p99", "live rpcs"))
+    for op_name in sorted(sim_metrics.latency):
+        sim_lat = sim_metrics.latency[op_name]
+        live_lat = live_metrics.latency[op_name]
+        sim_rpcs = sim_metrics.rpc_rounds[op_name].mean
+        live_rpcs = live_metrics.rpc_rounds[op_name].mean
+        table.add_row(
+            op_name, sim_lat.count,
+            f"{sim_lat.mean:.0f}", f"{sim_lat.p50:.0f}",
+            f"{sim_lat.p99:.0f}", f"{sim_rpcs:.2f}",
+            f"{live_lat.mean:.0f}", f"{live_lat.p50:.0f}",
+            f"{live_lat.p99:.0f}", f"{live_rpcs:.2f}")
+        if abs(sim_rpcs - live_rpcs) > 1e-9:
+            table.add_note(
+                f"RPC-round MISMATCH for {op_name}: sim {sim_rpcs:.2f} "
+                f"vs live {live_rpcs:.2f} — protocol divergence!")
+    table.add_note(
+        "Same namespace, same op sequence, same proxy/TafDB/IndexNode "
+        "code; only the runtime differs (DES cost model vs asyncio on "
+        "localhost TCP).")
+    table.add_note(
+        "RPC rounds per op must match exactly; latency is expected to "
+        "differ (that contrast is the experiment).")
+    print_tables([table], header="### live fig12 companion")
+    return 0
+
+
+def add_live_parser(sub) -> None:
+    """Register the ``live`` subcommand on the mantle-exp parser."""
+    live_parser = sub.add_parser(
+        "live",
+        help="run a real asyncio cluster: smoke test or sim-vs-live table")
+    live_sub = live_parser.add_subparsers(dest="live_command", required=True)
+
+    smoke = live_sub.add_parser(
+        "smoke", help="N ops through a live cluster; fail on any error")
+    smoke.add_argument("--ops", type=int, default=1000,
+                       help="operation count (default 1000)")
+    smoke.add_argument("--in-process", action="store_true",
+                       help="run the roles on a thread instead of "
+                            "spawning mantle-serve processes")
+    smoke.add_argument("--wal-dir", default=None,
+                       help="directory for write-ahead files")
+
+    fig12 = live_sub.add_parser(
+        "fig12", help="print sim-vs-live read-path latency side by side")
+    fig12.add_argument("--ops", type=int, default=200,
+                       help="read ops per side (default 200)")
+    fig12.add_argument("--processes", action="store_true",
+                       help="use real OS processes for the live side")
+    fig12.add_argument("--wal-dir", default=None,
+                       help="directory for write-ahead files")
+
+
+def cmd_live(args) -> int:
+    if args.live_command == "smoke":
+        return run_live_smoke(args)
+    return run_live_fig12(args)

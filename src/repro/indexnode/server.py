@@ -118,7 +118,7 @@ class IndexNodeService(Server):
         """
         tracer = self.sim.tracer
         if not tracer.enabled:
-            result = yield self.node.propose(command)
+            result = yield from self.runtime.propose(self.node, command)
             return result
         start = self.sim.now
         waiter = self.node.propose(command)
@@ -147,7 +147,7 @@ class IndexNodeService(Server):
         cost = (outcome.index_probes * self.costs.index_probe_us
                 + outcome.cache_probes * self.costs.cache_hit_us
                 + outcome.depth * self.costs.permission_check_us)
-        yield from self.host.work(cost)
+        yield from self.runtime.work(self.host, cost)
 
     def rpc_lookup(self, path: str, want: str = "parent"):
         """Single-RPC path resolution; serves on leader or replica."""
@@ -157,7 +157,8 @@ class IndexNodeService(Server):
                                 category="index", host=self.host.name)
         else:
             span = None
-        yield from self.host.work(self.costs.index_rpc_overhead_us)
+        yield from self.runtime.work(
+            self.host, self.costs.index_rpc_overhead_us)
         if not self.node.is_leader:
             # §5.1.3: commitIndex barrier keeps replica reads consistent.
             # The wait is dominated by the commitIndex round trip to the
@@ -205,7 +206,8 @@ class IndexNodeService(Server):
         ``owner`` is the client-generated rename UUID; a retried request
         recognises its own lock (§5.3 idempotence).
         """
-        yield from self.host.work(self.costs.index_rpc_overhead_us)
+        yield from self.runtime.work(
+            self.host, self.costs.index_rpc_overhead_us)
         if not self.node.is_leader:
             raise NotLeaderError(self.node.leader_hint)
         state = self.state
@@ -219,7 +221,8 @@ class IndexNodeService(Server):
 
         # Loop detection before locking: moving src under its own subtree.
         chain = state.table.ancestor_chain(dst_parent.target_id)
-        yield from self.host.work(len(chain) * self.costs.index_probe_us)
+        yield from self.runtime.work(
+            self.host, len(chain) * self.costs.index_probe_us)
         state.table.check_rename_loop(src_meta.id, dst_parent.target_id)
 
         # Step 4+5: RemovalList insert + lock bit, replicated through Raft.
@@ -238,8 +241,8 @@ class IndexNodeService(Server):
         lca = next(d for d in chain if d in src_chain)
         locked = state.table.locked_on_chain(dst_parent.target_id, lca)
         locked = [d for d in locked if d != src_meta.id]
-        yield from self.host.work(
-            max(1, len(chain)) * self.costs.index_probe_us)
+        yield from self.runtime.work(
+            self.host, max(1, len(chain)) * self.costs.index_probe_us)
         if locked:
             # Conflict with another in-flight rename: release and retry.
             yield from self._propose_attributed(
@@ -262,7 +265,8 @@ class IndexNodeService(Server):
 
     def rpc_mutate(self, command: Tuple):
         """Propose one state-machine command and await its applied result."""
-        yield from self.host.work(self.costs.index_rpc_overhead_us)
+        yield from self.runtime.work(
+            self.host, self.costs.index_rpc_overhead_us)
         if not self.node.is_leader:
             raise NotLeaderError(self.node.leader_hint)
         result = yield from self._propose_attributed(command)

@@ -38,6 +38,35 @@ class Op:
         return tuple(getattr(self, field.name)
                      for field in dataclasses.fields(self))
 
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-safe encoding for the live wire protocol.
+
+        ``{"op": <registry name>, "args": {<field>: <value>, ...}}`` with
+        :class:`~repro.types.Permission` masks flattened to ints.  The
+        format is pinned by the golden-file test in
+        ``tests/runtime/test_wire.py`` — changing it is a wire-protocol
+        break, not a refactor.
+        """
+        args: Dict[str, Any] = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, Permission):
+                value = int(value)
+            args[field.name] = value
+        return {"op": self.name, "args": args}
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "Op":
+        """Rebuild the typed op :meth:`to_wire` encoded (inverse of it)."""
+        op_type = OP_TYPES.get(payload.get("op", ""))
+        if op_type is None:
+            raise ValueError(f"unknown operation {payload.get('op')!r}")
+        args = dict(payload.get("args", {}))
+        for field in dataclasses.fields(op_type):
+            if field.name in args and field.type == "Permission":
+                args[field.name] = Permission(args[field.name])
+        return op_type(**args)
+
 
 #: Operation name -> dataclass, in the canonical mdtest order.
 OP_TYPES: Dict[str, Type[Op]] = {}

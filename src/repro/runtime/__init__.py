@@ -1,0 +1,22 @@
+"""Runtime abstraction: the seam between Mantle's domain code and the world.
+
+The same orchestration generators (proxy operations, TafDB client
+transactions, IndexNode RPC handlers) run against two runtimes:
+
+* :class:`~repro.runtime.base.SimRuntime` — a thin adapter over the
+  discrete-event kernel.  Every method delegates 1:1 to the exact simulator
+  primitive the code used before the seam existed, so simulated results are
+  bit-identical to the pre-runtime code (gated by the determinism suites).
+* :class:`~repro.runtime.aio.AsyncioRuntime` — real ``asyncio``: TCP RPC
+  with length-prefixed frames, ``loop.time()`` clock, thread-offloaded
+  fsync.  ``mantle-serve`` boots IndexNode/TafDB/proxy roles as actual OS
+  processes on it, and :class:`~repro.runtime.client.LiveClient` speaks the
+  typed op registry to the proxy over the wire.
+
+See ``docs/runtime.md`` for the protocol, the wire format and the
+``mantle-serve`` quickstart.
+"""
+
+from repro.runtime.base import Runtime, SimRuntime
+
+__all__ = ["Runtime", "SimRuntime"]

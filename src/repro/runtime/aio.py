@@ -1,0 +1,359 @@
+"""The asyncio implementation of the :class:`~repro.runtime.base.Runtime`.
+
+Domain code is written as plain generators that ``yield from`` runtime
+methods.  Under :class:`AsyncioRuntime` those methods yield small *effect*
+objects; :meth:`AsyncioRuntime.drive` is the trampoline that steps the
+generator with ``send``/``throw``, awaiting each effect on the real event
+loop:
+
+* ``_Sleep``  -> ``asyncio.sleep``
+* ``_Rpc``    -> one multiplexed request/response round trip over TCP
+* ``_Gather`` -> ``asyncio.gather`` over sub-generators (the 2PC fan-out)
+* ``_Fsync``  -> a real ``os.fsync`` offloaded to a worker thread
+* ``_Propose``-> the live single-node Raft's durable append+apply
+
+``work()`` is deliberately a no-op: in the simulator it charges modelled
+CPU, live the real computation already happened on this very event loop.
+That asymmetry is the point of the sim-vs-live comparison
+(``mantle-exp live fig12``), not a bug.
+
+This module also carries both halves of the TCP transport: the client-side
+:class:`RpcConnection`/:class:`RemoteService` (per-request ids, response
+futures, per-call deadline) and the server-side :class:`WireServer` that
+exposes any object with sim-``Server``-compatible ``dispatch`` over the
+wire.  Transport faults map onto the :class:`~repro.errors.TransportError`
+branch, so domain retry loops treat a dropped connection exactly like a
+crashed simulated host.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, Iterable, Optional
+
+from repro.errors import (
+    ConnectionLostError,
+    FrameError,
+    MetadataError,
+    RPCTimeoutError,
+)
+from repro.runtime import wire
+from repro.runtime.base import Runtime
+
+#: Default per-RPC response deadline.  Generous: live ops are millisecond
+#: scale, and a smoke run on a loaded CI box must not flake.
+DEFAULT_RPC_TIMEOUT_S = 30.0
+
+
+class _Sleep:
+    __slots__ = ("us",)
+
+    def __init__(self, us: float):
+        self.us = us
+
+
+class _Rpc:
+    __slots__ = ("service", "method", "args", "kwargs")
+
+    def __init__(self, service, method, args, kwargs):
+        self.service = service
+        self.method = method
+        self.args = args
+        self.kwargs = kwargs
+
+
+class _Gather:
+    __slots__ = ("generators",)
+
+    def __init__(self, generators):
+        self.generators = generators
+
+
+class _Fsync:
+    __slots__ = ("host",)
+
+    def __init__(self, host):
+        self.host = host
+
+
+class _Propose:
+    __slots__ = ("node", "command")
+
+    def __init__(self, node, command):
+        self.node = node
+        self.command = command
+
+
+class AsyncioRuntime(Runtime):
+    """Real execution environment: asyncio TCP, wallclock, worker-thread
+    fsync.  ``now`` is microseconds since runtime construction, so live
+    latencies read on the same scale as simulated ones."""
+
+    kind = "aio"
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None,
+                 rpc_timeout_s: float = DEFAULT_RPC_TIMEOUT_S):
+        self._loop = loop
+        self.rpc_timeout_s = rpc_timeout_s
+        self._t0 = time.monotonic()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        return self._loop
+
+    # -- Runtime surface (generators yielding effects) ----------------------
+
+    @property
+    def now(self) -> float:
+        return (time.monotonic() - self._t0) * 1e6
+
+    def sleep(self, us: float):
+        yield _Sleep(us)
+
+    def work(self, host, us: float):
+        # Real CPU time is real; nothing to charge.
+        return
+        yield  # pragma: no cover
+
+    def fsync(self, host, us: float):
+        yield _Fsync(host)
+
+    def rpc(self, service, method: str, *args, ctx=None, **kwargs):
+        if ctx is not None:
+            ctx.rpcs += 1
+        result = yield _Rpc(service, method, args, kwargs)
+        return result
+
+    def gather(self, generators: Iterable):
+        results = yield _Gather(list(generators))
+        return results
+
+    def propose(self, node, command):
+        result = yield _Propose(node, command)
+        return result
+
+    # -- the trampoline -----------------------------------------------------
+
+    async def drive(self, generator) -> Any:
+        """Run one domain generator to completion, awaiting its effects."""
+        value: Any = None
+        pending_exc: Optional[BaseException] = None
+        while True:
+            try:
+                if pending_exc is not None:
+                    exc, pending_exc = pending_exc, None
+                    effect = generator.throw(exc)
+                else:
+                    effect = generator.send(value)
+            except StopIteration as stop:
+                return stop.value
+            try:
+                value = await self._perform(effect)
+            except BaseException as exc:  # delivered into the generator
+                pending_exc = exc
+                value = None
+
+    async def _perform(self, effect) -> Any:
+        if isinstance(effect, _Rpc):
+            return await effect.service.call(
+                effect.method, effect.args, effect.kwargs,
+                timeout_s=self.rpc_timeout_s)
+        if isinstance(effect, _Sleep):
+            await asyncio.sleep(effect.us / 1e6)
+            return None
+        if isinstance(effect, _Gather):
+            return list(await asyncio.gather(
+                *(self.drive(g) for g in effect.generators)))
+        if isinstance(effect, _Fsync):
+            await self.loop.run_in_executor(None, effect.host.do_fsync)
+            return None
+        if isinstance(effect, _Propose):
+            return await effect.node.commit(effect.command)
+        raise RuntimeError(
+            f"generator yielded a non-effect to AsyncioRuntime: {effect!r} "
+            "(a simulator event leaked through the runtime seam)")
+
+
+# -- client-side transport ---------------------------------------------------
+
+class RpcConnection:
+    """One multiplexed TCP connection: concurrent in-flight requests carry
+    distinct ids; a background task routes response frames to futures."""
+
+    def __init__(self, endpoint: str):
+        self.endpoint = endpoint
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._reader_task: Optional[asyncio.Task] = None
+        self._connect_lock = asyncio.Lock()
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is not None and not self._writer.is_closing():
+            return
+        async with self._connect_lock:
+            if self._writer is not None and not self._writer.is_closing():
+                return
+            host, port = self.endpoint.rsplit(":", 1)
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    host, int(port))
+            except OSError as exc:
+                raise ConnectionLostError(self.endpoint, str(exc)) from exc
+            self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        error: MetadataError
+        try:
+            while True:
+                payload = await wire.read_frame(self._reader)
+                future = self._pending.pop(payload.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(payload)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError) as exc:
+            error = ConnectionLostError(self.endpoint, str(exc))
+        except FrameError as exc:
+            error = exc
+        except asyncio.CancelledError:
+            error = ConnectionLostError(self.endpoint, "connection closed")
+        self._fail_all(error)
+
+    def _fail_all(self, error: MetadataError) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    async def call(self, method: str, args: tuple, kwargs: dict,
+                   timeout_s: float = DEFAULT_RPC_TIMEOUT_S) -> Any:
+        await self._ensure_connected()
+        self._next_id += 1
+        request_id = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            self._writer.write(
+                wire.encode_request(request_id, method, args, kwargs))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            raise ConnectionLostError(self.endpoint, str(exc)) from exc
+        try:
+            payload = await asyncio.wait_for(future, timeout_s)
+        except asyncio.TimeoutError:
+            self._pending.pop(request_id, None)
+            raise RPCTimeoutError(self.endpoint, timeout_s) from None
+        return wire.decode_result(payload)
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        self._fail_all(ConnectionLostError(self.endpoint, "closed"))
+
+
+class RemoteService:
+    """Client-side stub for one live service: a name plus a connection.
+
+    This is what ``AsyncioRuntime.rpc`` dispatches to — the live
+    counterpart of passing a simulated ``Server`` to ``Network.rpc``.
+    """
+
+    def __init__(self, name: str, connection: RpcConnection):
+        self.name = name
+        self.connection = connection
+
+    @property
+    def endpoint(self) -> str:
+        return self.connection.endpoint
+
+    async def call(self, method: str, args: tuple, kwargs: dict,
+                   timeout_s: float = DEFAULT_RPC_TIMEOUT_S) -> Any:
+        return await self.connection.call(method, args, kwargs,
+                                          timeout_s=timeout_s)
+
+
+# -- server-side transport ---------------------------------------------------
+
+class WireServer:
+    """Serves a dispatchable object (live DBServer/IndexNodeService role, or
+    the proxy facade) over length-prefixed frames.
+
+    Each request runs as its own task, so one slow 2PC prepare doesn't
+    head-of-line-block an independent read on the same connection — the
+    concurrency a real service has and the simulator models with processes.
+    """
+
+    def __init__(self, runtime: AsyncioRuntime, dispatcher,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.runtime = runtime
+        self.dispatcher = dispatcher
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        tasks = set()
+        try:
+            while True:
+                try:
+                    payload = await wire.read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionError,
+                        FrameError, OSError):
+                    break
+                except asyncio.CancelledError:
+                    break  # server stopping; finish cleanly, not as an error
+                task = asyncio.ensure_future(
+                    self._handle_request(payload, writer))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            for task in tasks:
+                task.cancel()
+            writer.close()
+
+    async def _handle_request(self, payload: dict,
+                              writer: asyncio.StreamWriter) -> None:
+        request_id = payload.get("id")
+        try:
+            method = payload["method"]
+            args = tuple(wire.from_jsonable(a)
+                         for a in payload.get("args", []))
+            kwargs = {k: wire.from_jsonable(v)
+                      for k, v in payload.get("kwargs", {}).items()}
+            result = await self.runtime.drive(
+                self.dispatcher.dispatch(method, args, kwargs, None))
+            frame = wire.encode_response(request_id, result=result)
+        except MetadataError as exc:
+            frame = wire.encode_response(request_id, error=exc)
+        except Exception as exc:  # noqa: BLE001 - report, don't kill the conn
+            frame = wire.encode_response(request_id, error=exc)
+        try:
+            writer.write(frame)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away; nothing to tell it

@@ -1,0 +1,234 @@
+"""``LiveClient``: the MantleClient surface over a real TCP cluster.
+
+Where :class:`~repro.core.api.MantleClient` drives a simulated deployment
+in-process, ``LiveClient`` speaks the typed op registry
+(:mod:`repro.ops`) over the live wire protocol to a ``mantle-serve`` proxy:
+
+    with LiveClient("127.0.0.1:7400") as client:
+        client.mkdir("/a")
+        client.create("/a/obj")
+        print(client.objstat("/a/obj"))
+
+The method surface, result types (``OpResult``/``StatResult``), exception
+types and per-op metrics mirror the simulated client, so benchmark and
+test code can be parameterised over either — the agreement suite and
+``mantle-exp live fig12`` do exactly that.  Latencies are wallclock
+microseconds (the live runtime's clock), on the same scale simulated
+latencies are reported in.
+
+The client owns a private event loop on a daemon thread; the public
+methods are ordinary blocking calls safe to use from synchronous code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Iterable, List, Tuple
+
+from repro.core.api import BatchResult
+from repro.errors import MetadataError, NoSuchPathError
+from repro.ops import (
+    Create,
+    Delete,
+    DirStat,
+    Mkdir,
+    Op,
+    ObjStat,
+    ReadDir,
+    Rename,
+    Rmdir,
+    SetAttr,
+)
+from repro.paths import ancestors
+from repro.paths import normalize as paths_normalize
+from repro.runtime.aio import DEFAULT_RPC_TIMEOUT_S, RpcConnection
+from repro.sim.stats import MetricSet, OpContext
+from repro.types import OpResult, Permission, StatResult
+
+
+class LiveClient:
+    """Blocking client for a live Mantle proxy endpoint."""
+
+    def __init__(self, endpoint: str,
+                 rpc_timeout_s: float = DEFAULT_RPC_TIMEOUT_S):
+        self.endpoint = endpoint
+        self.rpc_timeout_s = rpc_timeout_s
+        self.metrics = MetricSet()
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name=f"live-client-{endpoint}",
+            daemon=True)
+        self._thread.start()
+        self._connection = RpcConnection(endpoint)
+        self._closed = False
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+        pending = asyncio.all_tasks(self._loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            self._loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True))
+        self._loop.close()
+
+    def _submit(self, coro) -> Any:
+        if self._closed:
+            coro.close()
+            raise RuntimeError("LiveClient is closed")
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result()
+
+    # -- op plumbing ---------------------------------------------------------
+
+    async def _perform_async(self, op: Op) -> Tuple[Any, OpContext]:
+        payload = await self._connection.call(
+            "perform", (op.to_wire(),), {}, timeout_s=self.rpc_timeout_s)
+        ctx = OpContext(op.name)
+        ctx.rpcs = payload.get("rpcs", 0)
+        ctx.retries = payload.get("retries", 0)
+        ctx.start = 0.0
+        ctx.finish = payload.get("latency_us", 0.0)
+        return payload.get("result"), ctx
+
+    def _run_ctx(self, op: Op) -> Tuple[Any, OpContext]:
+        try:
+            result, ctx = self._submit(self._perform_async(op))
+        except MetadataError:
+            ctx = OpContext(op.name)
+            self.metrics.record_failure(ctx)
+            raise
+        self.metrics.record(ctx)
+        return result, ctx
+
+    def _run(self, op: Op) -> Any:
+        return self._run_ctx(op)[0]
+
+    def _run_mutation(self, op: Op) -> OpResult:
+        result, ctx = self._run_ctx(op)
+        return OpResult(result, rpcs=ctx.rpcs, retries=ctx.retries,
+                        latency_us=ctx.latency)
+
+    def perform(self, op: Op) -> Any:
+        """Run one typed op; mutations come back as :class:`OpResult`."""
+        result, ctx = self._run_ctx(op)
+        if isinstance(result, int) and not isinstance(result, bool):
+            return OpResult(result, rpcs=ctx.rpcs, retries=ctx.retries,
+                            latency_us=ctx.latency)
+        return result
+
+    # -- namespace operations (mirrors MantleClient) -------------------------
+
+    def mkdir(self, path: str, parents: bool = False) -> OpResult:
+        if parents:
+            chain = ancestors(paths_normalize(path))[1:]
+            missing: List[str] = []
+            for ancestor in reversed(chain):
+                try:
+                    self.dirstat(ancestor)
+                    break
+                except NoSuchPathError:
+                    missing.append(ancestor)
+                except MetadataError:
+                    break
+            for ancestor in reversed(missing):
+                self._run_mutation(Mkdir(ancestor))
+        return self._run_mutation(Mkdir(path))
+
+    def rmdir(self, path: str) -> OpResult:
+        return self._run_mutation(Rmdir(path))
+
+    def create(self, path: str, size: int = 0) -> OpResult:
+        del size
+        return self._run_mutation(Create(path))
+
+    def delete(self, path: str) -> OpResult:
+        return self._run_mutation(Delete(path))
+
+    def objstat(self, path: str) -> StatResult:
+        return self._run(ObjStat(path))
+
+    def dirstat(self, path: str) -> StatResult:
+        return self._run(DirStat(path))
+
+    def stat(self, path: str) -> StatResult:
+        try:
+            return self.objstat(path)
+        except MetadataError:
+            return self.dirstat(path)
+
+    def listdir(self, path: str) -> List[str]:
+        return self._run(ReadDir(path))
+
+    def rename(self, src: str, dst: str) -> OpResult:
+        return self._run_mutation(Rename(src, dst))
+
+    def setattr(self, path: str, permission: Permission) -> StatResult:
+        return self._run(SetAttr(path, permission))
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.stat(path)
+            return True
+        except MetadataError:
+            return False
+
+    def ping(self) -> dict:
+        """Round trip a no-op frame (connectivity check)."""
+        return self._submit(self._connection.call(
+            "ping", (), {}, timeout_s=self.rpc_timeout_s))
+
+    # -- batching ------------------------------------------------------------
+
+    def batch(self, ops: Iterable[Op]) -> List[BatchResult]:
+        """Run several ops concurrently over the multiplexed connection.
+
+        Like the simulated client's ``batch``, per-op failures land in
+        ``BatchResult.error`` instead of raising, and all ops are in flight
+        together (distinct request ids on one TCP connection).
+        """
+        items = [BatchResult(op) for op in ops]
+
+        async def run_all():
+            async def run_one(item: BatchResult):
+                try:
+                    result, ctx = await self._perform_async(item.op)
+                except MetadataError as exc:
+                    item.error = exc
+                    self.metrics.record_failure(OpContext(item.op.name))
+                    return
+                if isinstance(result, int) and not isinstance(result, bool):
+                    result = OpResult(result, rpcs=ctx.rpcs,
+                                      retries=ctx.retries,
+                                      latency_us=ctx.latency)
+                item.result = result
+                self.metrics.record(ctx)
+
+            await asyncio.gather(*(run_one(item) for item in items))
+
+        if items:
+            self._submit(run_all())
+        return items
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            future = asyncio.run_coroutine_threadsafe(
+                self._connection.close(), self._loop)
+            future.result(timeout=5)
+        except Exception:
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "LiveClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

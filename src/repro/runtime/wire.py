@@ -1,0 +1,187 @@
+"""Length-prefixed JSON wire protocol for the live runtime.
+
+Every frame is a 4-byte big-endian payload length followed by a compact,
+key-sorted JSON document.  JSON (rather than msgpack, which the protocol
+was also designed to carry) keeps the reproduction dependency-free; frames
+are small — ops, rows, stat results — so codec throughput is not the
+bottleneck, the network round trip is.
+
+Domain values cross the wire through a tagged encoding:
+
+* registered dataclasses (``RowKey``, ``WriteIntent``, ``Dirent``, ...)
+  become ``{"__w__": "TypeName", "f": {field: value, ...}}``;
+* tuples become ``{"__t__": [...]}`` (JSON has no tuple, and shard routing
+  and Raft commands rely on tuple identity);
+* :class:`~repro.types.EntryKind` becomes ``{"__k__": "dir"|"obj"}`` and
+  :class:`~repro.types.Permission` ``{"__p__": <int mask>}``;
+* :class:`~repro.types.OpResult` becomes ``{"__r__": {...}}`` via its own
+  ``to_wire``.
+
+The exact byte format is pinned by the golden file in
+``tests/runtime/golden_ops_wire.json`` — a change here that alters those
+bytes is a protocol break between client and server versions, not a
+refactor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import struct
+from typing import Any, Dict, Tuple, Type
+
+from repro.errors import FrameError
+from repro.types import EntryKind, OpResult, Permission
+
+#: Hard ceiling on one frame's payload; anything larger is a framing bug
+#: (a readdir page tops out orders of magnitude below this).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+#: Wire tag -> dataclass.  Only types that actually cross a live RPC
+#: boundary are registered; registration order is part of the protocol.
+_WIRE_TYPES: Dict[str, Type] = {}
+
+
+def _register_wire_types() -> None:
+    # Imported lazily so ``repro.errors`` (which wire.py imports) can be
+    # imported by these modules without a cycle.
+    from repro.indexnode.server import RenamePrep
+    from repro.indexnode.state import LookupOutcome
+    from repro.tafdb.rows import AttrDelta, Dirent, Row, RowKey
+    from repro.tafdb.shard import WriteIntent
+    from repro.types import AccessMeta, AttrMeta, StatResult
+
+    for cls in (RowKey, Dirent, AttrDelta, AttrMeta, Row, WriteIntent,
+                AccessMeta, StatResult, LookupOutcome, RenamePrep):
+        _WIRE_TYPES[cls.__name__] = cls
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively encode ``value`` into JSON-compatible structures."""
+    if value is None or isinstance(value, (str, bool)):
+        return value
+    if isinstance(value, Permission):  # IntFlag: test before plain int
+        return {"__p__": int(value)}
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, EntryKind):
+        return {"__k__": value.value}
+    if isinstance(value, OpResult):
+        return {"__r__": value.to_wire()}
+    if isinstance(value, tuple):
+        return {"__t__": [to_jsonable(v) for v in value]}
+    if isinstance(value, list):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {key: to_jsonable(v) for key, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        if not _WIRE_TYPES:
+            _register_wire_types()
+        name = type(value).__name__
+        if name not in _WIRE_TYPES:
+            raise FrameError(f"unregistered wire type {name}")
+        fields = {f.name: to_jsonable(getattr(value, f.name))
+                  for f in dataclasses.fields(value)}
+        return {"__w__": name, "f": fields}
+    raise FrameError(f"cannot encode {type(value).__name__} on the wire")
+
+
+def from_jsonable(value: Any) -> Any:
+    """Inverse of :func:`to_jsonable`."""
+    if isinstance(value, list):
+        return [from_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        if "__p__" in value and len(value) == 1:
+            return Permission(value["__p__"])
+        if "__k__" in value and len(value) == 1:
+            return EntryKind(value["__k__"])
+        if "__r__" in value and len(value) == 1:
+            return OpResult.from_wire(value["__r__"])
+        if "__t__" in value and len(value) == 1:
+            return tuple(from_jsonable(v) for v in value["__t__"])
+        if "__w__" in value:
+            if not _WIRE_TYPES:
+                _register_wire_types()
+            cls = _WIRE_TYPES.get(value["__w__"])
+            if cls is None:
+                raise FrameError(f"unknown wire type {value['__w__']!r}")
+            fields = {name: from_jsonable(v)
+                      for name, v in value.get("f", {}).items()}
+            return cls(**fields)
+        return {key: from_jsonable(v) for key, v in value.items()}
+    return value
+
+
+def pack_frame(payload: Any) -> bytes:
+    """Encode one message (already passed through :func:`to_jsonable` where
+    needed) as a length-prefixed frame."""
+    data = json.dumps(payload, separators=(",", ":"),
+                      sort_keys=True).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(data)} bytes exceeds limit")
+    return _LEN.pack(len(data)) + data
+
+
+def unpack_payload(data: bytes) -> Any:
+    """Decode one frame's payload bytes (without the length prefix)."""
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise FrameError(f"undecodable frame: {exc}") from exc
+
+
+async def read_frame(reader) -> Any:
+    """Read one length-prefixed frame from an asyncio stream reader.
+
+    Raises ``asyncio.IncompleteReadError`` at clean EOF (no partial frame)
+    and :class:`~repro.errors.FrameError` on truncation mid-frame or an
+    oversized/undecodable payload.
+    """
+    import asyncio
+
+    header = await reader.readexactly(_LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"declared frame length {length} exceeds limit")
+    try:
+        data = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            f"truncated frame: wanted {length} bytes, "
+            f"got {len(exc.partial)}") from exc
+    return unpack_payload(data)
+
+
+# -- request/response envelopes ---------------------------------------------
+
+def encode_request(request_id: int, method: str, args: Tuple,
+                   kwargs: Dict[str, Any]) -> bytes:
+    return pack_frame({
+        "id": request_id,
+        "method": method,
+        "args": [to_jsonable(a) for a in args],
+        "kwargs": {k: to_jsonable(v) for k, v in kwargs.items()},
+    })
+
+
+def encode_response(request_id: int, result: Any = None,
+                    error: Any = None) -> bytes:
+    if error is not None:
+        from repro.errors import MetadataError, error_to_wire
+        if not isinstance(error, MetadataError):
+            error = MetadataError(
+                f"{type(error).__name__}: {error}")
+        return pack_frame({"id": request_id, "ok": False,
+                           "error": error_to_wire(error)})
+    return pack_frame({"id": request_id, "ok": True,
+                       "result": to_jsonable(result)})
+
+
+def decode_result(payload: Dict[str, Any]) -> Any:
+    """Turn a response payload into a result, raising the remote error."""
+    if payload.get("ok"):
+        return from_jsonable(payload.get("result"))
+    from repro.errors import error_from_wire
+    raise error_from_wire(payload.get("error") or {})

@@ -570,10 +570,28 @@ class Simulator:
         #: :class:`repro.sim.telemetry.Telemetry` (before or during a run)
         #: to start collecting.
         self.telemetry = telemetry
+        self._runtime = None
 
     @property
     def now(self) -> float:
         return self._now
+
+    @property
+    def runtime(self):
+        """This simulator's :class:`~repro.runtime.base.SimRuntime`.
+
+        Server-side code (RPC handlers charging work/fsync) resolves its
+        runtime through ``host.sim.runtime``; the live facade objects
+        expose an :class:`~repro.runtime.aio.AsyncioRuntime` under the
+        same attribute, which is how one handler body serves both worlds.
+        The cached instance carries no network — client-side code gets a
+        transport-capable runtime from its system instead.
+        """
+        runtime = self._runtime
+        if runtime is None:
+            from repro.runtime.base import SimRuntime
+            runtime = self._runtime = SimRuntime(self)
+        return runtime
 
     # -- lanes -------------------------------------------------------------
 

@@ -127,15 +127,22 @@ class Network:
 
 
 class Server:
-    """Base class for simulated services addressed by RPC.
+    """Base class for services addressed by RPC.
 
     Subclasses implement handler generators named ``rpc_<method>``.  Handlers
-    charge CPU on ``self.host`` explicitly at the points where real work
-    happens.
+    charge CPU on ``self.host`` explicitly — through ``self.runtime`` — at
+    the points where real work happens.
+
+    The runtime is resolved from the host's ``sim`` object: a simulated
+    :class:`~repro.sim.host.Host` answers with the kernel-backed
+    :class:`~repro.runtime.base.SimRuntime`, while the live facade behind
+    ``mantle-serve`` hands back the process's ``AsyncioRuntime`` — the same
+    handler generators serve both worlds (see ``docs/runtime.md``).
     """
 
     def __init__(self, host: Host):
         self.host = host
+        self.runtime = host.sim.runtime
 
     @property
     def sim(self) -> Simulator:

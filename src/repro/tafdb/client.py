@@ -36,11 +36,16 @@ class TafDBClient:
 
     def __init__(self, sim: Simulator, network: Network,
                  partitioner: Partitioner, servers: Sequence[DBServer],
-                 costs: CostModel, client_id: Optional[int] = None):
+                 costs: CostModel, client_id: Optional[int] = None,
+                 runtime=None):
         if len(servers) != partitioner.num_servers:
             raise ValueError("server list does not match partitioner")
         self.sim = sim
         self.network = network
+        if runtime is None:
+            from repro.runtime.base import default_runtime
+            runtime = default_runtime(sim, network)
+        self.runtime = runtime
         self.partitioner = partitioner
         self.servers = list(servers)
         self.costs = costs
@@ -94,26 +99,26 @@ class TafDBClient:
 
     def read(self, key: RowKey, ctx: Optional[OpContext] = None):
         shard_id, server = self.server_for(key.pid)
-        row = yield from self.network.rpc(server, "read", shard_id, key, ctx=ctx)
+        row = yield from self.runtime.rpc(server, "read", shard_id, key, ctx=ctx)
         return row
 
     def scan_children(self, pid: int, limit: Optional[int] = None,
                       start_after: Optional[str] = None,
                       ctx: Optional[OpContext] = None):
         shard_id, server = self.server_for(pid)
-        page = yield from self.network.rpc(
+        page = yield from self.runtime.rpc(
             server, "scan_children", shard_id, pid, limit, start_after, ctx=ctx)
         return page
 
     def has_children(self, dir_id: int, ctx: Optional[OpContext] = None):
         shard_id, server = self.server_for(dir_id)
-        result = yield from self.network.rpc(
+        result = yield from self.runtime.rpc(
             server, "has_children", shard_id, dir_id, ctx=ctx)
         return result
 
     def read_dir_attrs(self, dir_id: int, ctx: Optional[OpContext] = None):
         shard_id, server = self.server_for(dir_id)
-        attrs = yield from self.network.rpc(
+        attrs = yield from self.runtime.rpc(
             server, "read_dir_attrs", shard_id, dir_id, ctx=ctx)
         return attrs
 
@@ -121,9 +126,9 @@ class TafDBClient:
                    ctx: Optional[OpContext] = None):
         """CFS-style atomic parent-attribute increment (never aborts)."""
         shard_id, server = self.server_for(dir_id)
-        ok = yield from self.network.rpc(
+        ok = yield from self.runtime.rpc(
             server, "atomic_add", shard_id, dir_id, link_delta, entry_delta,
-            self.sim.now, ctx=ctx)
+            self.runtime.now, ctx=ctx)
         return ok
 
     # -- transactions ------------------------------------------------------------------
@@ -182,7 +187,7 @@ class TafDBClient:
             shard_id, shard_intents = next(iter(by_shard.items()))
             server = self.servers[self.partitioner.server_of_shard(shard_id)]
             try:
-                yield from self.network.rpc(
+                yield from self.runtime.rpc(
                     server, "execute", shard_id, txn_id, shard_intents, ctx=ctx)
             except TransactionAbort as exc:
                 self.txn_aborts += 1
@@ -223,8 +228,7 @@ class TafDBClient:
             legs = [self._fanout_leg("prepare", pspan, leg)
                     for leg in legs]
         prepares = [self._guarded(leg) for leg in legs]
-        outcomes = yield self.sim.all_of(
-            [self.sim.process(p) for p in prepares])
+        outcomes = yield from self.runtime.gather(prepares)
         failures = [err for ok, err in outcomes if not ok]
         if pspan is not None:
             tracer.end(pspan, self.sim.now, ok=not failures)
@@ -238,7 +242,7 @@ class TafDBClient:
     def _prepare_one(self, txn_id: str, shard_id: int,
                      intents: List[WriteIntent], ctx: Optional[OpContext]):
         server = self.servers[self.partitioner.server_of_shard(shard_id)]
-        yield from self.network.rpc(
+        yield from self.runtime.rpc(
             server, "prepare", shard_id, txn_id, intents, ctx=ctx)
 
     def _finish(self, txn_id: str, shard_ids: List[int], verb: str,
@@ -254,11 +258,11 @@ class TafDBClient:
         rounds = []
         for shard_id in shard_ids:
             server = self.servers[self.partitioner.server_of_shard(shard_id)]
-            leg = self.network.rpc(server, verb, shard_id, txn_id, ctx=ctx)
+            leg = self.runtime.rpc(server, verb, shard_id, txn_id, ctx=ctx)
             if fspan is not None:
                 leg = self._fanout_leg(verb, fspan, leg)
             rounds.append(self._swallow(leg))
-        yield self.sim.all_of([self.sim.process(r) for r in rounds])
+        yield from self.runtime.gather(rounds)
         if fspan is not None:
             tracer.end(fspan, self.sim.now)
 

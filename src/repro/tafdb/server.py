@@ -37,7 +37,8 @@ class DBServer(Server):
     # -- reads ----------------------------------------------------------------
 
     def rpc_read(self, shard_id: int, key: RowKey):
-        yield from self.host.work(self.costs.db_row_read_us)
+        yield from self.runtime.work(
+            self.host, self.costs.db_row_read_us)
         return self.shard(shard_id).read(key)
 
     def rpc_scan_children(self, shard_id: int, pid: int,
@@ -46,19 +47,22 @@ class DBServer(Server):
         state = self.shard(shard_id)
         page = state.scan_children(pid, limit=limit, start_after=start_after)
         # Charge one probe plus one row read per returned entry.
-        yield from self.host.work(
+        yield from self.runtime.work(
+            self.host,
             self.costs.db_row_read_us * max(1, len(page)))
         return page
 
     def rpc_has_children(self, shard_id: int, pid: int):
-        yield from self.host.work(self.costs.db_row_read_us)
+        yield from self.runtime.work(
+            self.host, self.costs.db_row_read_us)
         return self.shard(shard_id).has_children(pid)
 
     def rpc_read_dir_attrs(self, shard_id: int, dir_id: int):
         state = self.shard(shard_id)
         pending = state.delta_count(dir_id)
         # dirstat folds pending deltas at read time: the §5.2.1 trade-off.
-        yield from self.host.work(self.costs.db_row_read_us * (1 + pending))
+        yield from self.runtime.work(
+            self.host, self.costs.db_row_read_us * (1 + pending))
         return state.read_attrs_folded(dir_id)
 
     # -- transactions -----------------------------------------------------------
@@ -68,26 +72,32 @@ class DBServer(Server):
                 + self.costs.db_row_write_us * len(intents))
 
     def rpc_prepare(self, shard_id: int, txn_id: str, intents: List[WriteIntent]):
-        yield from self.host.work(self._write_cost(intents))
+        yield from self.runtime.work(
+            self.host, self._write_cost(intents))
         self.shard(shard_id).prepare(txn_id, intents)
         return True
 
     def rpc_commit(self, shard_id: int, txn_id: str):
-        yield from self.host.work(self.costs.db_txn_overhead_us)
-        yield from self.host.fsync_cost(self.costs.db_commit_sync_us)
+        yield from self.runtime.work(
+            self.host, self.costs.db_txn_overhead_us)
+        yield from self.runtime.fsync(
+            self.host, self.costs.db_commit_sync_us)
         self.shard(shard_id).commit(txn_id)
         return True
 
     def rpc_abort(self, shard_id: int, txn_id: str):
-        yield from self.host.work(self.costs.db_txn_overhead_us)
+        yield from self.runtime.work(
+            self.host, self.costs.db_txn_overhead_us)
         self.shard(shard_id).abort(txn_id)
         return True
 
     def rpc_execute(self, shard_id: int, txn_id: str, intents: List[WriteIntent]):
         """Single-shard one-shot transaction: one RPC, one durable commit."""
-        yield from self.host.work(self._write_cost(intents))
+        yield from self.runtime.work(
+            self.host, self._write_cost(intents))
         self.shard(shard_id).prepare(txn_id, intents)
-        yield from self.host.fsync_cost(self.costs.db_commit_sync_us)
+        yield from self.runtime.fsync(
+            self.host, self.costs.db_commit_sync_us)
         self.shard(shard_id).commit(txn_id)
         return True
 

@@ -129,6 +129,18 @@ class OpResult(int):
         return (f"OpResult(inode_id={int(self)}, rpcs={self.rpcs}, "
                 f"retries={self.retries}, latency_us={self.latency_us})")
 
+    def to_wire(self) -> dict:
+        """JSON-safe encoding for the live wire protocol (see
+        ``repro/runtime/wire.py``; format pinned by the golden-file test)."""
+        return {"inode_id": int(self), "rpcs": self.rpcs,
+                "retries": self.retries, "latency_us": self.latency_us}
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "OpResult":
+        return cls(payload["inode_id"], rpcs=payload.get("rpcs", 0),
+                   retries=payload.get("retries", 0),
+                   latency_us=payload.get("latency_us", 0.0))
+
 
 @dataclasses.dataclass(frozen=True)
 class StatResult:

@@ -6,6 +6,7 @@ from repro.baselines import InfiniFSSystem, LocoFSSystem, TectonicSystem
 from repro.core.config import MantleConfig
 from repro.core.service import MantleSystem
 from repro.sim.stats import OpContext
+from repro.ops import make_op
 
 SYSTEM_NAMES = ("mantle", "tectonic", "infinifs", "locofs")
 
@@ -40,7 +41,7 @@ class SyncDriver:
     def run(self, op, *args):
         ctx = OpContext(op)
         result = self.system.sim.run_process(
-            self.system.submit(op, *args, ctx=ctx))
+            self.system.perform(make_op(op, *args), ctx=ctx))
         self.contexts.append(ctx)
         return result
 

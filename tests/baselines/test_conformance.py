@@ -7,6 +7,7 @@ systems, never results.
 
 import pytest
 
+from repro.ops import make_op
 from repro.errors import (
     AlreadyExistsError,
     IsADirectoryError,
@@ -116,7 +117,8 @@ class TestErrors:
 
     def test_unknown_operation_rejected(self, driver):
         with pytest.raises(ValueError):
-            driver.system.sim.run_process(driver.system.submit("chmodx", "/"))
+            driver.system.sim.run_process(
+                driver.system.perform(make_op("chmodx", "/")))
 
 
 class TestPhaseAccounting:

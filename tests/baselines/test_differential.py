@@ -15,6 +15,7 @@ import pytest
 from repro.errors import MetadataError
 from repro.paths import is_prefix, normalize, parent_and_name
 from repro.sim.stats import OpContext
+from repro.ops import make_op
 from tests.baselines.conftest import SYSTEM_NAMES, build_system
 
 
@@ -127,7 +128,7 @@ def apply_to_system(system, ops):
         ctx = OpContext(op)
         target = "readdir" if op == "readdir" else op
         try:
-            system.sim.run_process(system.submit(target, *args, ctx=ctx))
+            system.sim.run_process(system.perform(make_op(target, *args), ctx=ctx))
             outcomes.append("ok")
         except MetadataError:
             outcomes.append("error")
@@ -155,7 +156,7 @@ def final_tree(system, ref):
         ctx = OpContext("readdir")
         try:
             got = system.sim.run_process(
-                system.submit("readdir", directory, ctx=ctx))
+                system.perform(make_op("readdir", directory), ctx=ctx))
         except MetadataError:
             mismatches.append((directory, expected, "<error>"))
             continue

@@ -6,6 +6,7 @@ from repro.baselines.infinifs import InfiniFSSystem, predict_dir_id
 from repro.errors import NoSuchPathError, RenameLockConflict, RenameLoopError
 from repro.sim.stats import OpContext
 from repro.types import ROOT_ID
+from repro.ops import make_op
 
 
 def build(**kw):
@@ -19,7 +20,7 @@ def build(**kw):
 
 def run_op(system, op, *args):
     ctx = OpContext(op)
-    result = system.sim.run_process(system.submit(op, *args, ctx=ctx))
+    result = system.sim.run_process(system.perform(make_op(op, *args), ctx=ctx))
     return result, ctx
 
 

@@ -7,6 +7,7 @@ from repro.baselines.tectonic import TectonicSystem
 from repro.errors import AlreadyExistsError, NoSuchPathError
 from repro.raft.node import Role
 from repro.sim.stats import OpContext
+from repro.ops import make_op
 
 
 def build_locofs(**kw):
@@ -27,7 +28,7 @@ def build_tectonic(**kw):
 
 def run_op(system, op, *args):
     ctx = OpContext(op)
-    result = system.sim.run_process(system.submit(op, *args, ctx=ctx))
+    result = system.sim.run_process(system.perform(make_op(op, *args), ctx=ctx))
     return result, ctx
 
 

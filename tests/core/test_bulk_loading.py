@@ -8,6 +8,7 @@ from repro.core.service import MantleSystem
 from repro.errors import NoSuchPathError
 from repro.sim.stats import OpContext
 from repro.workloads.namespace import build_namespace, populate
+from repro.ops import make_op
 
 
 def build():
@@ -20,7 +21,7 @@ def build():
 
 def run_op(system, op, *args):
     ctx = OpContext(op)
-    return system.sim.run_process(system.submit(op, *args, ctx=ctx))
+    return system.sim.run_process(system.perform(make_op(op, *args), ctx=ctx))
 
 
 class TestBulkLoaders:

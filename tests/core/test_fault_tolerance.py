@@ -7,6 +7,7 @@ from repro.core.config import MantleConfig
 from repro.core.service import MantleSystem
 from repro.errors import MetadataError
 from repro.sim.stats import OpContext
+from repro.ops import make_op
 
 
 def build(**overrides):
@@ -20,7 +21,7 @@ def build(**overrides):
 
 def run_op(system, op, *args):
     ctx = OpContext(op)
-    return system.sim.run_process(system.submit(op, *args, ctx=ctx))
+    return system.sim.run_process(system.perform(make_op(op, *args), ctx=ctx))
 
 
 class TestLeaderFailover:
@@ -51,7 +52,7 @@ class TestLeaderFailover:
             for _ in range(50):
                 ctx = OpContext("objstat")
                 try:
-                    yield from system.submit("objstat", "/w/obj", ctx=ctx)
+                    yield from system.perform(make_op("objstat", "/w/obj"), ctx=ctx)
                     outcomes.append("ok")
                 except MetadataError:
                     outcomes.append("failed")

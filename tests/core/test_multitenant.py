@@ -6,6 +6,7 @@ from repro.core.config import MantleConfig
 from repro.core.multitenant import MantleDeployment
 from repro.errors import NoSuchPathError
 from repro.sim.stats import OpContext
+from repro.ops import make_op
 
 
 def tiny_config(**overrides):
@@ -23,7 +24,7 @@ def deployment():
 
 def run_op(system, op, *args):
     ctx = OpContext(op)
-    return system.sim.run_process(system.submit(op, *args, ctx=ctx))
+    return system.sim.run_process(system.perform(make_op(op, *args), ctx=ctx))
 
 
 class TestNamespaceIsolation:
@@ -121,13 +122,13 @@ class TestColocation:
                 def victim():
                     for _ in range(20):
                         ctx = OpContext("objstat")
-                        yield from ns_a.submit("objstat", "/w/obj", ctx=ctx)
+                        yield from ns_a.perform(make_op("objstat", "/w/obj"), ctx=ctx)
                         latencies.append(ctx.latency)
 
                 def neighbor():
                     for _ in range(200):
                         ctx = OpContext("objstat")
-                        yield from ns_b.submit("objstat", "/w/obj", ctx=ctx)
+                        yield from ns_b.perform(make_op("objstat", "/w/obj"), ctx=ctx)
 
                 procs = [sim.process(victim())]
                 if with_neighbor_load:

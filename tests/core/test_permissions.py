@@ -5,6 +5,7 @@ import pytest
 from repro import MantleClient, MantleConfig
 from repro.errors import PermissionDeniedError
 from repro.types import Permission
+from repro.ops import make_op
 
 
 def small(**overrides):
@@ -100,8 +101,8 @@ class TestAggregationThroughCaches:
                 for _ in range(5):
                     ctx = OpContext("objstat")
                     try:
-                        yield from client.system.submit(
-                            "objstat", "/f/obj", ctx=ctx)
+                        yield from client.system.perform(make_op(
+                            "objstat", "/f/obj"), ctx=ctx)
                     except PermissionDeniedError:
                         denied["count"] += 1
 

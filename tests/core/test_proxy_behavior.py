@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.config import MantleConfig
 from repro.core.service import MantleSystem
+from repro.ops import make_op
 from repro.sim.stats import (
     PHASE_EXECUTION,
     PHASE_LOOKUP,
@@ -24,7 +25,7 @@ def build(**overrides):
 
 def run_op(system, op, *args):
     ctx = OpContext(op)
-    result = system.sim.run_process(system.submit(op, *args, ctx=ctx))
+    result = system.sim.run_process(system.perform(make_op(op, *args), ctx=ctx))
     return result, ctx
 
 
@@ -40,8 +41,7 @@ class TestDeltaActivation:
         def client(cid):
             for i in range(10):
                 ctx = OpContext("mkdir")
-                yield from system.submit("mkdir", f"/hot/d{cid}_{i}",
-                                         ctx=ctx)
+                yield from system.perform(make_op("mkdir", f"/hot/d{cid}_{i}"), ctx=ctx)
 
         done = sim.all_of([sim.process(client(c)) for c in range(16)])
         sim.run_until(done)
@@ -69,8 +69,7 @@ class TestDeltaActivation:
         def client(cid):
             for i in range(per_client):
                 ctx = OpContext("create")
-                yield from system.submit("create", f"/hot/o{cid}_{i}",
-                                         ctx=ctx)
+                yield from system.perform(make_op("create", f"/hot/o{cid}_{i}"), ctx=ctx)
 
         done = sim.all_of([sim.process(client(c)) for c in range(clients)])
         sim.run_until(done)
@@ -85,7 +84,7 @@ class TestDeltaActivation:
 
         def client(cid):
             ctx = OpContext("mkdir")
-            yield from system.submit("mkdir", f"/hot/d{cid}", ctx=ctx)
+            yield from system.perform(make_op("mkdir", f"/hot/d{cid}"), ctx=ctx)
 
         done = sim.all_of([sim.process(client(c)) for c in range(8)])
         sim.run_until(done)
@@ -122,7 +121,7 @@ class TestFollowerSpill:
         def client():
             for _ in range(10):
                 ctx = OpContext("objstat")
-                yield from system.submit("objstat", "/w/obj", ctx=ctx)
+                yield from system.perform(make_op("objstat", "/w/obj"), ctx=ctx)
 
         done = sim.all_of([sim.process(client()) for _ in range(24)])
         sim.run_until(done)
@@ -143,7 +142,7 @@ class TestFollowerSpill:
         def client():
             for _ in range(5):
                 ctx = OpContext("objstat")
-                yield from system.submit("objstat", "/w/obj", ctx=ctx)
+                yield from system.perform(make_op("objstat", "/w/obj"), ctx=ctx)
 
         done = sim.all_of([sim.process(client()) for _ in range(16)])
         sim.run_until(done)
@@ -214,7 +213,7 @@ class TestPhaseAccounting:
         def client(cid):
             ctx = OpContext("mkdir")
             contexts.append(ctx)
-            yield from system.submit("mkdir", f"/hot/r{cid}", ctx=ctx)
+            yield from system.perform(make_op("mkdir", f"/hot/r{cid}"), ctx=ctx)
 
         done = sim.all_of([sim.process(client(c)) for c in range(10)])
         sim.run_until(done)

@@ -86,7 +86,8 @@ class TestClientSurface:
         with MantleClient() as client:
             system, sim = client.system, client.system.sim
             typed = sim.run_process(system.perform(Mkdir("/typed")))
-            legacy = sim.run_process(system.submit("mkdir", "/legacy"))
+            with pytest.warns(DeprecationWarning, match="submit.*deprecated"):
+                legacy = sim.run_process(system.submit("mkdir", "/legacy"))
             assert isinstance(typed, int) and isinstance(legacy, int)
             assert client.dirstat("/typed").id == typed
             assert client.dirstat("/legacy").id == legacy

@@ -8,6 +8,7 @@ from repro.sim.core import Simulator
 from repro.sim.host import CostModel, Host
 from repro.sim.network import Network
 from repro.raft.group import RaftGroup
+from repro.ops import make_op
 
 
 class SnapshotListMachine:
@@ -177,7 +178,7 @@ class TestMantleWithSnapshots:
         def client(cid):
             for i in range(20):
                 ctx = OpContext("mkdir")
-                yield from system.submit("mkdir", f"/s/d{cid}_{i}", ctx=ctx)
+                yield from system.perform(make_op("mkdir", f"/s/d{cid}_{i}"), ctx=ctx)
 
         done = sim.all_of([sim.process(client(c)) for c in range(4)])
         sim.run_until(done)

@@ -13,6 +13,7 @@ from repro.core.config import MantleConfig
 from repro.core.service import MantleSystem
 from repro.errors import MetadataError
 from repro.sim.stats import OpContext
+from repro.ops import make_op
 
 
 def build_system():
@@ -53,7 +54,7 @@ class TestSoak:
                 for op, args in script:
                     ctx = OpContext(op)
                     try:
-                        yield from system.submit(op, *args, ctx=ctx)
+                        yield from system.perform(make_op(op, *args), ctx=ctx)
                         completed["count"] += 1
                     except MetadataError:
                         failed["count"] += 1
@@ -81,7 +82,7 @@ class TestSoak:
         hot_id = system._bulk_dirs["/hot"]
         assert system.tafdb.contention.activations >= 0  # tracked
         stat_ctx = OpContext("dirstat")
-        stat = sim.run_process(system.submit("dirstat", "/hot", ctx=stat_ctx))
+        stat = sim.run_process(system.perform(make_op("dirstat", "/hot"), ctx=stat_ctx))
         assert stat.entry_count >= 0
         del hot_id
         system.shutdown()
@@ -93,9 +94,9 @@ class TestSoak:
         def client(cid):
             for i in range(10):
                 ctx = OpContext("mkdir")
-                yield from system.submit("mkdir", f"/d{cid}_{i}", ctx=ctx)
+                yield from system.perform(make_op("mkdir", f"/d{cid}_{i}"), ctx=ctx)
                 ctx2 = OpContext("create")
-                yield from system.submit("create", f"/d{cid}_{i}/o", ctx=ctx2)
+                yield from system.perform(make_op("create", f"/d{cid}_{i}/o"), ctx=ctx2)
 
         done = sim.all_of([sim.process(client(c)) for c in range(6)])
         sim.run_until(done)
@@ -107,7 +108,7 @@ class TestSoak:
         """The auditor itself must catch real corruption."""
         system = build_system()
         ctx = OpContext("mkdir")
-        system.sim.run_process(system.submit("mkdir", "/victim", ctx=ctx))
+        system.sim.run_process(system.perform(make_op("mkdir", "/victim"), ctx=ctx))
         drain(system, 100_000)
         leader = system.index_group.leader_or_raise()
         # Sabotage: remove the directory from the leader's IndexTable only.
@@ -120,7 +121,7 @@ class TestSoak:
     def test_audit_detects_leaked_lock(self):
         system = build_system()
         ctx = OpContext("mkdir")
-        system.sim.run_process(system.submit("mkdir", "/locked", ctx=ctx))
+        system.sim.run_process(system.perform(make_op("mkdir", "/locked"), ctx=ctx))
         drain(system, 100_000)
         for node in system.index_group.nodes.values():
             node.state_machine.table.set_lock(system.root_id, "locked",
