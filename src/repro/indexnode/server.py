@@ -107,17 +107,22 @@ class IndexNodeService(Server):
           flush started,
         * ``raft.flush``  (fsync) — the leader's log fsync (disk queueing
           included),
-        * ``raft.replicate`` (wire) — everything after the flush: the
-          replication round trip, follower fsyncs and the apply, which
-        * from the waiting handler's perspective is network-shaped.
+        * ``raft.follower_flush`` (fsync) / ``raft.follower_apply`` (cpu)
+          — the gating follower's own fsync and apply, piggybacked on its
+          AppendReply (charged to the follower's host),
+        * ``raft.replicate`` (wire) — the remainder of the post-flush
+          wait: the replication round trips themselves, which from the
+          waiting handler's perspective are network-shaped.
 
         Stamps can be missing (sampling raced a leadership change); the
         whole wait is then attributed as a single ``raft.commit`` edge.
         Pure bookkeeping either way: with tracing off this is exactly
-        ``yield self.node.propose(command)``.
+        ``yield self.node.propose(command)``.  Under the live runtime the
+        decomposition comes from ``SoloRaft.commit``'s wall-clock spans
+        instead, so this path defers to ``runtime.propose``.
         """
         tracer = self.sim.tracer
-        if not tracer.enabled:
+        if not tracer.enabled or self.runtime.kind != "sim":
             result = yield from self.runtime.propose(self.node, command)
             return result
         start = self.sim.now
@@ -135,8 +140,19 @@ class IndexNodeService(Server):
                           max(0.0, stats["flush_end"] - stats["flush_start"]))
             tracer.charge_blocked("raft.queue", "queue", queued, host)
             tracer.charge_blocked("raft.flush", "fsync", flushed, host)
+            repl = total - queued - flushed
+            follower_host = stats.get("follower_host", host)
+            f_flush = min(repl, max(0.0, stats.get("follower_flush_us", 0.0)))
+            f_apply = min(repl - f_flush,
+                          max(0.0, stats.get("follower_apply_us", 0.0)))
+            if f_flush > 0.0:
+                tracer.charge_blocked("raft.follower_flush", "fsync",
+                                      f_flush, follower_host)
+            if f_apply > 0.0:
+                tracer.charge_blocked("raft.follower_apply", "cpu",
+                                      f_apply, follower_host)
             tracer.charge_blocked("raft.replicate", "wire",
-                                  total - queued - flushed, host)
+                                  repl - f_flush - f_apply, host)
         else:
             tracer.charge_blocked("raft.commit", "wire", total, host)
         return result

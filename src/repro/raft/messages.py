@@ -43,6 +43,13 @@ class AppendReply:
     follower_id: int
     success: bool
     match_index: int
+    #: Tracer-gated timing piggyback (0.0 when tracing is off): how long
+    #: this follower spent fsyncing the shipped batch and applying newly
+    #: committed entries before replying.  Lets the leader split a
+    #: proposer's ``raft.replicate`` wait into wire vs follower-fsync vs
+    #: follower-CPU.  Pure bookkeeping: never read by the protocol.
+    flush_us: float = 0.0
+    apply_us: float = 0.0
 
 
 @dataclasses.dataclass(frozen=True)

@@ -108,7 +108,7 @@ class RaftNode:
         #: proposer pops its entry via :meth:`pop_commit_stats` once the
         #: wait resolves; :meth:`_fail_waiters` clears the rest.  Waiter
         #: events carry ``__slots__``, hence this side table.
-        self._commit_stats: Dict[Any, Dict[str, float]] = {}
+        self._commit_stats: Dict[Any, Dict[str, Any]] = {}
         self._election_deadline = self._fresh_election_deadline()
         #: Open ``raft.election`` span (tracer-gated): begun when this node
         #: becomes a candidate, closed when the candidacy resolves (won /
@@ -157,7 +157,7 @@ class RaftNode:
         self.mailbox.put(_POKE)
         return waiter
 
-    def pop_commit_stats(self, waiter) -> Optional[Dict[str, float]]:
+    def pop_commit_stats(self, waiter) -> Optional[Dict[str, Any]]:
         """Claim the commit-timeline stamps recorded for ``waiter``.
 
         Pure bookkeeping for blocked-on attribution; returns ``None`` when
@@ -407,14 +407,22 @@ class RaftNode:
                 max(self.log.base_index, hint, 0)))
             return
         appended = self.log.merge(msg.prev_index, msg.entries)
+        timed = self.sim.tracer.enabled
+        flush_us = apply_us = 0.0
         if appended:
+            flush_started = self.sim.now
             yield from self.host.fsync()  # one fsync per shipped batch
+            if timed:
+                flush_us = self.sim.now - flush_started
         match = msg.prev_index + len(msg.entries)
         if msg.leader_commit > self.commit_index:
             self.commit_index = min(msg.leader_commit, self.log.last_index)
+            apply_started = self.sim.now
             yield from self._apply_committed()
+            if timed:
+                apply_us = self.sim.now - apply_started
         self.group.send(self.id, msg.leader_id, AppendReply(
-            self.current_term, self.id, True, match))
+            self.current_term, self.id, True, match, flush_us, apply_us))
 
     def _on_append_reply(self, msg: AppendReply):
         if msg.term > self.current_term:
@@ -427,7 +435,7 @@ class RaftNode:
                 self._match_index.get(msg.follower_id, 0), msg.match_index)
             self._next_index[msg.follower_id] = \
                 self._match_index[msg.follower_id] + 1
-            yield from self._advance_commit()
+            yield from self._advance_commit(gating=msg)
             # Ship any remaining backlog to this follower.
             if self._next_index[msg.follower_id] <= self.log.last_index:
                 self._send_append(msg.follower_id)
@@ -508,11 +516,19 @@ class RaftNode:
             self.current_term, self.id, prev_index, prev_term,
             entries, self.commit_index))
 
-    def _advance_commit(self):
+    def _advance_commit(self, gating: Optional[AppendReply] = None):
         """Advance commitIndex to the highest N replicated on a voter
-        majority with log[N].term == currentTerm, then apply."""
+        majority with log[N].term == currentTerm, then apply.
+
+        ``gating`` is the AppendReply whose arrival triggered this advance
+        (None when called from the leader's own flush).  When its reply
+        carries follower timing and the commit point moves, those times are
+        stamped into the newly committed entries' commit stats so the
+        proposer can split its replication wait into wire vs follower work.
+        """
         if self.role is not Role.LEADER:
             return
+        old_commit = self.commit_index
         voters = self.group.voter_ids()
         for candidate in range(self.log.last_index, self.commit_index, -1):
             if self.log.term_at(candidate) != self.current_term:
@@ -523,6 +539,19 @@ class RaftNode:
             if replicated >= self.group.quorum():
                 self.commit_index = candidate
                 break
+        if (gating is not None and self.commit_index > old_commit
+                and self._commit_stats and self.sim.tracer.enabled):
+            follower = self.group.nodes.get(gating.follower_id)
+            follower_host = (follower.host.name if follower is not None
+                             else f"raft-{gating.follower_id}")
+            for index in range(old_commit + 1, self.commit_index + 1):
+                waiter = self._waiters.get(index)
+                stats = (self._commit_stats.get(waiter)
+                         if waiter is not None else None)
+                if stats is not None:
+                    stats["follower_flush_us"] = gating.flush_us
+                    stats["follower_apply_us"] = gating.apply_us
+                    stats["follower_host"] = follower_host
         yield from self._apply_committed()
 
     def _apply_committed(self):

@@ -40,6 +40,8 @@ from repro.errors import (
 )
 from repro.runtime import wire
 from repro.runtime.base import Runtime
+from repro.sim.telemetry import NULL_TELEMETRY
+from repro.sim.trace import NULL_SPAN, NULL_TRACER, RemoteSpanRef
 
 #: Default per-RPC response deadline.  Generous: live ops are millisecond
 #: scale, and a smoke run on a loaded CI box must not flake.
@@ -54,13 +56,20 @@ class _Sleep:
 
 
 class _Rpc:
-    __slots__ = ("service", "method", "args", "kwargs")
+    __slots__ = ("service", "method", "args", "kwargs", "trace", "want_meta")
 
-    def __init__(self, service, method, args, kwargs):
+    def __init__(self, service, method, args, kwargs, trace=None,
+                 want_meta=False):
         self.service = service
         self.method = method
         self.args = args
         self.kwargs = kwargs
+        #: Cross-process span context to stamp on the request frame.
+        self.trace = trace
+        #: When set the trampoline resolves to ``(result, srv_us)`` so the
+        #: instrumented ``rpc()`` can split round-trip time into wire vs
+        #: remote handler time.
+        self.want_meta = want_meta
 
 
 class _Gather:
@@ -88,15 +97,30 @@ class _Propose:
 class AsyncioRuntime(Runtime):
     """Real execution environment: asyncio TCP, wallclock, worker-thread
     fsync.  ``now`` is microseconds since runtime construction, so live
-    latencies read on the same scale as simulated ones."""
+    latencies read on the same scale as simulated ones.
+
+    ``tracer``/``telemetry`` are the same instrument types the simulator
+    carries (wall-clock fed instead of sim-clock fed); they default to the
+    null singletons so an uninstrumented runtime pays one attribute load
+    per site — the zero-cost-off contract the live smoke baseline pins.
+    ``epoch_us`` records the wall-clock epoch (``time.time()``) of the
+    runtime's t0, which is what lets the trace merge put spans from
+    processes with different monotonic origins on one time axis.
+    """
 
     kind = "aio"
 
     def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None,
-                 rpc_timeout_s: float = DEFAULT_RPC_TIMEOUT_S):
+                 rpc_timeout_s: float = DEFAULT_RPC_TIMEOUT_S,
+                 tracer=None, telemetry=None, process_name: str = "live"):
         self._loop = loop
         self.rpc_timeout_s = rpc_timeout_s
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.telemetry = (telemetry if telemetry is not None
+                          else NULL_TELEMETRY)
+        self.process_name = process_name
         self._t0 = time.monotonic()
+        self.epoch_us = time.time() * 1e6
 
     @property
     def loop(self) -> asyncio.AbstractEventLoop:
@@ -124,7 +148,48 @@ class AsyncioRuntime(Runtime):
     def rpc(self, service, method: str, *args, ctx=None, **kwargs):
         if ctx is not None:
             ctx.rpcs += 1
-        result = yield _Rpc(service, method, args, kwargs)
+        tracer = self.tracer
+        telemetry = self.telemetry
+        if not tracer.enabled and not telemetry.enabled:
+            result = yield _Rpc(service, method, args, kwargs)
+            return result
+        # Instrumented path: open an rpc span parented like the simulated
+        # Network.rpc (the op context's root, falling back to the innermost
+        # open span), ship span context on the frame, and charge the wire
+        # cost as round-trip minus remote handler time.
+        name = getattr(service, "name", None) or str(service)
+        span = NULL_SPAN
+        trace_ctx = None
+        if tracer.enabled:
+            parent = ctx.trace if ctx is not None else tracer.current_span()
+            span = tracer.begin("rpc:" + method, self.now, category="rpc",
+                                parent=parent, host=name)
+            if span:
+                trace_ctx = {"proc": self.process_name,
+                             "span": span.span_id}
+        started = self.now
+        if telemetry.enabled:
+            telemetry.counter("rpc.count", name).add(started)
+            telemetry.gauge("rpc.in_flight").adjust(started, 1.0)
+        ok = True
+        srv_us = 0.0
+        try:
+            result, srv_us = yield _Rpc(service, method, args, kwargs,
+                                        trace=trace_ctx, want_meta=True)
+        except BaseException:
+            ok = False
+            raise
+        finally:
+            now = self.now
+            if telemetry.enabled:
+                telemetry.gauge("rpc.in_flight").adjust(now, -1.0)
+                telemetry.histogram("rpc.latency_us", name).record(
+                    now, now - started)
+            if tracer.enabled:
+                if ok:
+                    tracer.charge("wire", max(0.0, (now - started) - srv_us),
+                                  name)
+                tracer.end(span, now, ok=ok)
         return result
 
     def gather(self, generators: Iterable):
@@ -158,6 +223,12 @@ class AsyncioRuntime(Runtime):
 
     async def _perform(self, effect) -> Any:
         if isinstance(effect, _Rpc):
+            if effect.want_meta:
+                result, payload = await effect.service.call(
+                    effect.method, effect.args, effect.kwargs,
+                    timeout_s=self.rpc_timeout_s, trace=effect.trace,
+                    with_meta=True)
+                return result, payload.get("srv_us", 0.0)
             return await effect.service.call(
                 effect.method, effect.args, effect.kwargs,
                 timeout_s=self.rpc_timeout_s)
@@ -168,7 +239,25 @@ class AsyncioRuntime(Runtime):
             return list(await asyncio.gather(
                 *(self.drive(g) for g in effect.generators)))
         if isinstance(effect, _Fsync):
+            tracer = self.tracer
+            telemetry = self.telemetry
+            if not tracer.enabled and not telemetry.enabled:
+                await self.loop.run_in_executor(None, effect.host.do_fsync)
+                return None
+            # The live analogue of the simulator's modelled fsync charge:
+            # measure the executor round trip (queueing to a worker thread
+            # included, exactly as the sim's disk FIFO queueing is).
+            started = self.now
             await self.loop.run_in_executor(None, effect.host.do_fsync)
+            now = self.now
+            host = getattr(effect.host, "name", None)
+            if tracer.enabled:
+                tracer.charge("fsync", now - started, host)
+            if telemetry.enabled:
+                telemetry.counter("host.fsync", host).add(now)
+                telemetry.counter("host.disk_busy_us", host,
+                                  capacity=1.0).add_interval(
+                    started, now, now - started)
             return None
         if isinstance(effect, _Propose):
             return await effect.node.commit(effect.command)
@@ -232,7 +321,15 @@ class RpcConnection:
             self._writer = None
 
     async def call(self, method: str, args: tuple, kwargs: dict,
-                   timeout_s: float = DEFAULT_RPC_TIMEOUT_S) -> Any:
+                   timeout_s: float = DEFAULT_RPC_TIMEOUT_S,
+                   trace: Optional[dict] = None,
+                   with_meta: bool = False) -> Any:
+        """One request/response round trip.
+
+        ``trace`` rides the request envelope as cross-process span context;
+        ``with_meta`` returns ``(result, payload)`` so callers can read
+        envelope metadata (``srv_us``) alongside the decoded result.
+        """
         await self._ensure_connected()
         self._next_id += 1
         request_id = self._next_id
@@ -240,7 +337,8 @@ class RpcConnection:
         self._pending[request_id] = future
         try:
             self._writer.write(
-                wire.encode_request(request_id, method, args, kwargs))
+                wire.encode_request(request_id, method, args, kwargs,
+                                    trace=trace))
             await self._writer.drain()
         except (ConnectionError, OSError) as exc:
             self._pending.pop(request_id, None)
@@ -250,7 +348,10 @@ class RpcConnection:
         except asyncio.TimeoutError:
             self._pending.pop(request_id, None)
             raise RPCTimeoutError(self.endpoint, timeout_s) from None
-        return wire.decode_result(payload)
+        result = wire.decode_result(payload)
+        if with_meta:
+            return result, payload
+        return result
 
     async def close(self) -> None:
         if self._reader_task is not None:
@@ -279,9 +380,12 @@ class RemoteService:
         return self.connection.endpoint
 
     async def call(self, method: str, args: tuple, kwargs: dict,
-                   timeout_s: float = DEFAULT_RPC_TIMEOUT_S) -> Any:
+                   timeout_s: float = DEFAULT_RPC_TIMEOUT_S,
+                   trace: Optional[dict] = None,
+                   with_meta: bool = False) -> Any:
         return await self.connection.call(method, args, kwargs,
-                                          timeout_s=timeout_s)
+                                          timeout_s=timeout_s, trace=trace,
+                                          with_meta=with_meta)
 
 
 # -- server-side transport ---------------------------------------------------
@@ -341,13 +445,30 @@ class WireServer:
         request_id = payload.get("id")
         try:
             method = payload["method"]
-            args = tuple(wire.from_jsonable(a)
-                         for a in payload.get("args", []))
-            kwargs = {k: wire.from_jsonable(v)
-                      for k, v in payload.get("kwargs", {}).items()}
-            result = await self.runtime.drive(
-                self.dispatcher.dispatch(method, args, kwargs, None))
-            frame = wire.encode_response(request_id, result=result)
+            if method.startswith("obs."):
+                result = self._handle_obs(method)
+                frame = wire.encode_response(request_id, result=result)
+            else:
+                args = tuple(wire.from_jsonable(a)
+                             for a in payload.get("args", []))
+                kwargs = {k: wire.from_jsonable(v)
+                          for k, v in payload.get("kwargs", {}).items()}
+                span = None
+                srv_started = None
+                if self.runtime.tracer.enabled:
+                    # Re-parent this handler onto the caller's span so the
+                    # merged trace shows one tree per op across processes.
+                    trace_ctx = payload.get("trace")
+                    if isinstance(trace_ctx, dict):
+                        span = RemoteSpanRef(str(trace_ctx.get("proc", "")),
+                                             int(trace_ctx.get("span", 0)))
+                    srv_started = self.runtime.now
+                result = await self.runtime.drive(
+                    self.dispatcher.dispatch(method, args, kwargs, span))
+                srv_us = (None if srv_started is None
+                          else self.runtime.now - srv_started)
+                frame = wire.encode_response(request_id, result=result,
+                                             srv_us=srv_us)
         except MetadataError as exc:
             frame = wire.encode_response(request_id, error=exc)
         except Exception as exc:  # noqa: BLE001 - report, don't kill the conn
@@ -357,3 +478,17 @@ class WireServer:
             await writer.drain()
         except (ConnectionError, OSError):
             pass  # client went away; nothing to tell it
+
+    def _handle_obs(self, method: str):
+        """Observability control RPCs, answered by the transport itself so
+        every live role exposes them without dispatcher involvement."""
+        from repro.runtime import obs
+
+        if method == "obs.trace_snapshot":
+            return obs.trace_snapshot_payload(self.runtime)
+        if method == "obs.metrics_snapshot":
+            return obs.metrics_snapshot_payload(self.runtime)
+        if method == "obs.reset":
+            self.runtime.tracer.reset()
+            return {"ok": True}
+        raise MetadataError(f"unknown observability RPC {method!r}")

@@ -24,6 +24,14 @@ driving it:
 
 Nothing in this module imports asyncio; the simulator path stays exactly as
 cheap as it was.
+
+Observability rides the same seam.  Both runtimes expose ``tracer`` and
+``telemetry`` attributes (``NULL_TRACER``/``NULL_TELEMETRY`` when off):
+under :class:`SimRuntime` they are the simulator's own instruments charging
+simulated microseconds; :class:`~repro.runtime.aio.AsyncioRuntime` carries
+its own wall-clock pair and stamps real fsync and wire time into the same
+span/charge vocabulary, so one critical-path / phase-breakdown toolchain
+reads both worlds.
 """
 
 from __future__ import annotations
@@ -100,8 +108,10 @@ class Runtime:
 
     def propose(self, node, command) -> Any:
         """Propose ``command`` on Raft node ``node`` and await the applied
-        result (the untraced commit wait; the traced decomposition stays
-        simulator-only in ``IndexNodeService._propose_attributed``)."""
+        result.  When tracing is on, each runtime decomposes the commit in
+        its own place: the simulator via the commit-stat replay in
+        ``IndexNodeService._propose_attributed``, the live runtime via the
+        spans ``SoloRaft.commit`` opens around its real flush and apply."""
         raise NotImplementedError
         yield  # pragma: no cover
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from typing import Any, Iterable, List, Tuple
 
 from repro.core.api import BatchResult
@@ -44,17 +45,48 @@ from repro.paths import ancestors
 from repro.paths import normalize as paths_normalize
 from repro.runtime.aio import DEFAULT_RPC_TIMEOUT_S, RpcConnection
 from repro.sim.stats import MetricSet, OpContext
+from repro.sim.trace import CAT_OP, NULL_TRACER
 from repro.types import OpResult, Permission, StatResult
 
 
+class _TaskKeyed:
+    """Binds a tracer's span stacks to the client's running asyncio task
+    (the client-side analogue of ``sim._active_process``), so concurrent
+    ``batch()`` ops keep separate stacks."""
+
+    @property
+    def _active_process(self):
+        try:
+            return asyncio.current_task()
+        except RuntimeError:
+            return None
+
+
 class LiveClient:
-    """Blocking client for a live Mantle proxy endpoint."""
+    """Blocking client for a live Mantle proxy endpoint.
+
+    Pass a :class:`~repro.sim.trace.Tracer` to root every op's
+    cross-process span tree at the client: each ``perform`` opens an
+    ``op``-category span (wall-clock, ``PROCESS_NAME`` process), ships its
+    span id as trace context on the wire, and charges the round trip minus
+    server time as wire cost — mirroring what the simulated client's op
+    root plus ``Network.rpc`` record.
+    """
+
+    #: Trace-context process name for client-side spans.
+    PROCESS_NAME = "client"
 
     def __init__(self, endpoint: str,
-                 rpc_timeout_s: float = DEFAULT_RPC_TIMEOUT_S):
+                 rpc_timeout_s: float = DEFAULT_RPC_TIMEOUT_S,
+                 tracer=None):
         self.endpoint = endpoint
         self.rpc_timeout_s = rpc_timeout_s
         self.metrics = MetricSet()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            self.tracer.bind(_TaskKeyed())
+        self._epoch_us = time.time() * 1e6
+        self._t0 = time.monotonic()
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._run_loop, name=f"live-client-{endpoint}",
@@ -62,6 +94,19 @@ class LiveClient:
         self._thread.start()
         self._connection = RpcConnection(endpoint)
         self._closed = False
+
+    @property
+    def now_us(self) -> float:
+        """Wallclock microseconds since client construction."""
+        return (time.monotonic() - self._t0) * 1e6
+
+    def trace_snapshot(self) -> dict:
+        """This client's span buffer in the live snapshot format."""
+        from repro.runtime.obs import snapshot_from_tracer
+
+        return snapshot_from_tracer(self.PROCESS_NAME, self.tracer,
+                                    epoch_us=self._epoch_us,
+                                    now_us=self.now_us, clock="wallclock")
 
     def _run_loop(self) -> None:
         asyncio.set_event_loop(self._loop)
@@ -84,8 +129,29 @@ class LiveClient:
     # -- op plumbing ---------------------------------------------------------
 
     async def _perform_async(self, op: Op) -> Tuple[Any, OpContext]:
-        payload = await self._connection.call(
-            "perform", (op.to_wire(),), {}, timeout_s=self.rpc_timeout_s)
+        tracer = self.tracer
+        if not tracer.enabled:
+            payload = await self._connection.call(
+                "perform", (op.to_wire(),), {}, timeout_s=self.rpc_timeout_s)
+        else:
+            started = self.now_us
+            span = tracer.begin(op.name, started, category=CAT_OP,
+                                host=self.PROCESS_NAME)
+            trace_ctx = {"proc": self.PROCESS_NAME, "span": span.span_id}
+            ok = False
+            try:
+                payload, meta = await self._connection.call(
+                    "perform", (op.to_wire(),), {},
+                    timeout_s=self.rpc_timeout_s, trace=trace_ctx,
+                    with_meta=True)
+                ok = True
+            finally:
+                now = self.now_us
+                if ok:
+                    srv_us = meta.get("srv_us", 0.0)
+                    tracer.charge("wire", max(0.0, (now - started) - srv_us),
+                                  self.endpoint)
+                tracer.end(span, now, ok=ok)
         ctx = OpContext(op.name)
         ctx.rpcs = payload.get("rpcs", 0)
         ctx.retries = payload.get("retries", 0)

@@ -6,9 +6,10 @@ under a DES kernel.  This module re-hosts the *identical* classes in real
 processes:
 
 * :class:`LiveSimFacade` duck-types the handful of ``Simulator`` attributes
-  domain code reads (``now``/``_now``, a disabled tracer/telemetry, and the
-  ``runtime`` the seam resolves) — so ``Server.dispatch``, ``TafDBClient``
-  and ``MetadataSystem.perform`` run unmodified;
+  domain code reads (``now``/``_now``, constructor-injected
+  tracer/telemetry instances fed by the wall clock, and the ``runtime``
+  the seam resolves) — so ``Server.dispatch``, ``TafDBClient`` and
+  ``MetadataSystem.perform`` run unmodified, instrumentation included;
 * :class:`LiveHost` stands in for ``sim.host.Host``: never crashed, and its
   "disk" is a real write-ahead file fsynced on a worker thread;
 * :class:`SoloRaft` is the live IndexNode's single-node replicated log — a
@@ -22,6 +23,7 @@ processes:
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 import subprocess
@@ -34,8 +36,8 @@ from repro.baselines.base import IdAllocator, MetadataSystem
 from repro.core.config import MantleConfig
 from repro.core.proxy import MantleProxy
 from repro.runtime.aio import AsyncioRuntime, RemoteService, WireServer
-from repro.sim.telemetry import NULL_TELEMETRY
-from repro.sim.trace import NULL_TRACER
+from repro.sim.telemetry import NULL_TELEMETRY, Telemetry
+from repro.sim.trace import NULL_TRACER, Tracer
 from repro.tafdb.client import TafDBClient
 from repro.tafdb.contention import ContentionRegistry
 from repro.tafdb.partition import Partitioner
@@ -44,15 +46,46 @@ from repro.tafdb.shard import WriteIntent
 from repro.types import ROOT_ID, AttrMeta, EntryKind
 
 
-class LiveSimFacade:
-    """The ``sim`` object live code sees: a wallclock and disabled
-    instrumentation, with the process's :class:`AsyncioRuntime` on the
-    attribute the runtime seam resolves."""
+def build_observability(config: MantleConfig, process_name: str,
+                        force_trace: bool = False,
+                        force_telemetry: bool = False):
+    """Resolve (tracer, telemetry) for one live process.
 
-    def __init__(self, runtime: AsyncioRuntime):
+    The same ``MantleConfig.tracing``/``telemetry`` flags that instrument
+    a simulated deployment instrument a live one; ``force_*`` are the CLI
+    overrides (``mantle-serve --trace/--telemetry``).  Disabled layers get
+    the shared null singletons, preserving the zero-cost-off contract.
+    """
+    del process_name  # reserved for future per-role capacity tuning
+    tracer = Tracer() if (config.tracing or force_trace) else NULL_TRACER
+    telemetry = (Telemetry(window_us=config.telemetry_window_us)
+                 if (config.telemetry or force_telemetry)
+                 else NULL_TELEMETRY)
+    return tracer, telemetry
+
+
+class LiveSimFacade:
+    """The ``sim`` object live code sees: a wallclock plus this process's
+    tracer/telemetry, with the :class:`AsyncioRuntime` on the attribute
+    the runtime seam resolves.
+
+    Instrumentation is **constructor-injected** (defaulting to the
+    runtime's own instances, which default to the null singletons) — the
+    facade never reassigns shared globals, so two facades in one process
+    can carry different tracers and a test can hand in its own.  The
+    tracer's span stacks are keyed by :attr:`_active_process`: live, the
+    "process" a charge belongs to is the asyncio task serving the
+    request, which is exactly the role ``sim._active_process`` plays for
+    simulated processes.
+    """
+
+    def __init__(self, runtime: AsyncioRuntime, tracer=None, telemetry=None):
         self.runtime = runtime
-        self.tracer = NULL_TRACER
-        self.telemetry = NULL_TELEMETRY
+        self.tracer = tracer if tracer is not None else runtime.tracer
+        self.telemetry = (telemetry if telemetry is not None
+                          else runtime.telemetry)
+        if self.tracer.enabled:
+            self.tracer.bind(self)
 
     @property
     def now(self) -> float:
@@ -61,6 +94,14 @@ class LiveSimFacade:
     @property
     def _now(self) -> float:
         return self.runtime.now
+
+    @property
+    def _active_process(self):
+        """The tracer's span-stack key: the currently running task."""
+        try:
+            return asyncio.current_task()
+        except RuntimeError:
+            return None
 
 
 class LiveHost:
@@ -131,11 +172,48 @@ class SoloRaft:
             os.fsync(self._log.fileno())
 
     async def commit(self, command):
-        import asyncio
         loop = asyncio.get_running_loop()
+        sim = self.host.sim
+        tracer = sim.tracer
+        telemetry = sim.telemetry
+        if not tracer.enabled and not telemetry.enabled:
+            await loop.run_in_executor(None, self._append_durable, command)
+            self.commits += 1
+            return self.state_machine.apply(command)
+        # Instrumented commit: the same raft.flush / raft.apply spans the
+        # simulated leader opens, with wall-clock durations — what lets
+        # the differential report align live commits against the modelled
+        # fsync/apply costs.
+        host = self.host.name
+        flush_started = sim.now
+        if tracer.enabled:
+            span = tracer.begin("raft.flush", flush_started, category="raft",
+                                host=host)
+            span.annotate(entries=1)
         await loop.run_in_executor(None, self._append_durable, command)
+        flush_ended = sim.now
+        if tracer.enabled:
+            tracer.charge("fsync", flush_ended - flush_started, host)
+            tracer.end(span, flush_ended)
+        if telemetry.enabled:
+            telemetry.counter("raft.flushes", host).add(flush_ended)
+            telemetry.counter("host.disk_busy_us", host,
+                              capacity=1.0).add_interval(
+                flush_started, flush_ended)
         self.commits += 1
-        return self.state_machine.apply(command)
+        if not tracer.enabled:
+            return self.state_machine.apply(command)
+        apply_started = sim.now
+        span = tracer.begin("raft.apply", apply_started, category="raft",
+                            host=host)
+        span.annotate(entries=1)
+        try:
+            result = self.state_machine.apply(command)
+        finally:
+            now = sim.now
+            tracer.charge("cpu", now - apply_started, host)
+            tracer.end(span, now)
+        return result
 
     def read_barrier(self):
         return
@@ -321,7 +399,25 @@ class ProxyFrontend:
 
         op = Op.from_wire(args[0])
         ctx = OpContext(op.name)
-        result = yield from self.service.perform(op, ctx=ctx)
+        sim = self.service.sim
+        tracer = sim.tracer
+        if not tracer.enabled:
+            result = yield from self.service.perform(op, ctx=ctx)
+            return {"result": result, "rpcs": ctx.rpcs,
+                    "retries": ctx.retries, "latency_us": ctx.latency}
+        # Handler span mirroring the sim Server.dispatch convention; when
+        # the caller shipped trace context, ``span`` is a RemoteSpanRef and
+        # the op's whole tree re-parents onto the client's rpc span.
+        handler = tracer.begin("rpc_perform", sim.now, category="handler",
+                               parent=span, host=None)
+        ok = True
+        try:
+            result = yield from self.service.perform(op, ctx=ctx)
+        except BaseException:
+            ok = False
+            raise
+        finally:
+            tracer.end(handler, sim.now, ok=ok)
         return {"result": result, "rpcs": ctx.rpcs,
                 "retries": ctx.retries, "latency_us": ctx.latency}
 
@@ -347,14 +443,27 @@ class InProcessCluster:
     localhost TCP.  The cheap way for tests (and ``--in-process`` smoke
     runs) to exercise the full wire protocol without spawning processes."""
 
+    ROLE_ORDER = ("tafdb", "indexnode", "proxy")
+
     def __init__(self, config: Optional[MantleConfig] = None,
-                 wal_dir: Optional[str] = None):
+                 wal_dir: Optional[str] = None,
+                 metrics: bool = False):
         self.config = config or MantleConfig.small()
         self.wal_dir = wal_dir
+        self.metrics = metrics
         self.proxy_endpoint: Optional[str] = None
+        #: role -> "127.0.0.1:<port>" once started (obs snapshot targets).
+        self.endpoints: Dict[str, str] = {}
+        #: role -> metrics port (only when ``metrics`` was requested).
+        self.metrics_ports: Dict[str, int] = {}
+        #: role -> that role's AsyncioRuntime (each role gets its own, so
+        #: span buffers separate per "process" even though the roles share
+        #: one event loop).
+        self.runtimes: Dict[str, AsyncioRuntime] = {}
         self._loop = None
         self._thread: Optional[threading.Thread] = None
         self._servers: List[WireServer] = []
+        self._metrics_servers: List = []
         self._started = threading.Event()
         self._startup_error: Optional[BaseException] = None
 
@@ -399,26 +508,51 @@ class InProcessCluster:
                 f"live cluster startup failed: {self._startup_error!r}")
         return self.proxy_endpoint
 
+    def _make_runtime(self, role: str) -> AsyncioRuntime:
+        tracer, telemetry = build_observability(self.config, role)
+        runtime = AsyncioRuntime(tracer=tracer, telemetry=telemetry,
+                                 process_name=role)
+        self.runtimes[role] = runtime
+        return runtime
+
+    async def _start_metrics(self, role: str,
+                             runtime: AsyncioRuntime) -> None:
+        if not self.metrics:
+            return
+        from repro.runtime.obs import MetricsServer
+
+        server = MetricsServer(runtime)
+        self.metrics_ports[role] = await server.start()
+        self._metrics_servers.append(server)
+
     async def _start_roles(self) -> None:
-        runtime = AsyncioRuntime()
+        runtime = self._make_runtime("tafdb")
         tafdb = build_tafdb_role(self.config, runtime, wal_dir=self.wal_dir)
         tafdb_server = WireServer(runtime, tafdb)
         tafdb_port = await tafdb_server.start()
+        await self._start_metrics("tafdb", runtime)
 
+        runtime = self._make_runtime("indexnode")
         index = build_indexnode_role(self.config, runtime,
                                      wal_dir=self.wal_dir)
         index_server = WireServer(runtime, index)
         index_port = await index_server.start()
+        await self._start_metrics("indexnode", runtime)
 
+        runtime = self._make_runtime("proxy")
         frontend = build_proxy_role(
             self.config, runtime,
             [f"127.0.0.1:{tafdb_port}"], f"127.0.0.1:{index_port}",
             wal_dir=self.wal_dir)
         proxy_server = WireServer(runtime, frontend)
         proxy_port = await proxy_server.start()
+        await self._start_metrics("proxy", runtime)
 
         self._servers = [tafdb_server, index_server, proxy_server]
-        self.proxy_endpoint = f"127.0.0.1:{proxy_port}"
+        self.endpoints = {"tafdb": f"127.0.0.1:{tafdb_port}",
+                          "indexnode": f"127.0.0.1:{index_port}",
+                          "proxy": f"127.0.0.1:{proxy_port}"}
+        self.proxy_endpoint = self.endpoints["proxy"]
 
     def stop(self) -> None:
         import asyncio
@@ -427,6 +561,8 @@ class InProcessCluster:
             return
 
         async def shutdown():
+            for server in self._metrics_servers:
+                await server.stop()
             for server in self._servers:
                 await server.stop()
 
@@ -440,6 +576,26 @@ class InProcessCluster:
             self._thread.join(timeout=10)
         self._loop = None
         self._thread = None
+
+    # -- observability -------------------------------------------------------
+
+    def trace_snapshots(self) -> List[dict]:
+        """Per-role trace snapshots (direct runtime access; no RPC).
+
+        Safe after the driving client has drained: the snapshot payloads
+        are built from plain attribute reads on each role's runtime.
+        """
+        from repro.runtime.obs import trace_snapshot_payload
+
+        return [trace_snapshot_payload(self.runtimes[role])
+                for role in self.ROLE_ORDER if role in self.runtimes]
+
+    def metrics_snapshots(self) -> List[dict]:
+        """Per-role metrics snapshots (direct runtime access; no RPC)."""
+        from repro.runtime.obs import metrics_snapshot_payload
+
+        return [metrics_snapshot_payload(self.runtimes[role])
+                for role in self.ROLE_ORDER if role in self.runtimes]
 
 
 class ProcessCluster:
@@ -455,12 +611,21 @@ class ProcessCluster:
 
     def __init__(self, config_name: str = "small",
                  wal_dir: Optional[str] = None,
-                 ready_timeout_s: float = 30.0):
+                 ready_timeout_s: float = 30.0,
+                 trace: bool = False, telemetry: bool = False,
+                 metrics: bool = False):
         self.config_name = config_name
         self.wal_dir = wal_dir
         self.ready_timeout_s = ready_timeout_s
+        self.trace = trace
+        self.telemetry = telemetry
+        self.metrics = metrics
         self.processes: Dict[str, subprocess.Popen] = {}
         self.ports: Dict[str, int] = {}
+        #: role -> "127.0.0.1:<port>" (obs snapshot targets).
+        self.endpoints: Dict[str, str] = {}
+        #: role -> metrics HTTP port (only with ``metrics=True``).
+        self.metrics_ports: Dict[str, int] = {}
         self.proxy_endpoint: Optional[str] = None
 
     def __enter__(self) -> "ProcessCluster":
@@ -479,10 +644,19 @@ class ProcessCluster:
                 "--config", self.config_name] + extra
         if self.wal_dir:
             argv += ["--wal-dir", os.path.join(self.wal_dir, role)]
+        if self.trace:
+            argv.append("--trace")
+        if self.telemetry:
+            argv.append("--telemetry")
+        if self.metrics:
+            argv += ["--metrics-port", "0"]
         return subprocess.Popen(argv, env=env, stdout=subprocess.PIPE,
                                 stderr=subprocess.PIPE, text=True)
 
     def _await_ready(self, role: str, proc: subprocess.Popen) -> int:
+        """Parse the READY line; returns the wire port and records any
+        advertised metrics port (``MANTLE-SERVE READY port=N [metrics=M]``).
+        """
         deadline = time.monotonic() + self.ready_timeout_s
         while time.monotonic() < deadline:
             line = proc.stdout.readline()
@@ -490,7 +664,11 @@ class ProcessCluster:
                 break
             line = line.strip()
             if line.startswith("MANTLE-SERVE READY"):
-                return int(line.rsplit("port=", 1)[1])
+                fields = dict(token.split("=", 1)
+                              for token in line.split()[2:] if "=" in token)
+                if "metrics" in fields:
+                    self.metrics_ports[role] = int(fields["metrics"])
+                return int(fields["port"])
         stderr = proc.stderr.read() if proc.stderr else ""
         self.stop()
         raise RuntimeError(
@@ -511,7 +689,9 @@ class ProcessCluster:
             "--indexnode", f"127.0.0.1:{self.ports['indexnode']}"])
         self.processes["proxy"] = proc
         self.ports["proxy"] = self._await_ready("proxy", proc)
-        self.proxy_endpoint = f"127.0.0.1:{self.ports['proxy']}"
+        self.endpoints = {role: f"127.0.0.1:{port}"
+                          for role, port in self.ports.items()}
+        self.proxy_endpoint = self.endpoints["proxy"]
         return self.proxy_endpoint
 
     def stop(self, timeout_s: float = 15.0) -> Dict[str, int]:

@@ -1,0 +1,470 @@
+"""Live-cluster observability: span snapshots, trace merge, metrics.
+
+The live runtime reuses the simulator's instrument types
+(:class:`~repro.sim.trace.Tracer`, :class:`~repro.sim.telemetry.Telemetry`)
+fed by wallclock instead of the sim clock, but each process only sees its
+own buffers.  This module is the cross-process half:
+
+* **snapshots** — every :class:`~repro.runtime.aio.WireServer` answers
+  ``obs.trace_snapshot`` / ``obs.metrics_snapshot`` / ``obs.reset``
+  control RPCs with the JSON payloads built here, so any role can be
+  interrogated over its ordinary wire port;
+* **merge** — :func:`merge_chrome_trace` aligns per-process span buffers
+  onto one time axis (each process records the wall-clock epoch of its
+  monotonic t0) and emits a single Chrome-trace payload, one pid track
+  per process, with the cross-process parent links preserved in span
+  attributes (``remote_parent_proc``/``remote_parent_span``);
+* **validation** — :func:`cross_process_problems` checks every remote
+  parent reference resolves and every op tree is connected across the
+  processes it touched; :func:`dyn_self_time_problems` checks the
+  within-process dynamic trees telescope (non-negative self-times), the
+  invariant the profiler and critical-path machinery rely on;
+* **phase breakdown** — :func:`phase_breakdown` walks the *global* span
+  tree (within-process dynamic links + cross-process remote links) and
+  folds each op kind's charges into wire/fsync/cpu/queue microseconds
+  per op.  The same function consumes simulated tracer output, which is
+  what makes the ``mantle-exp live fig12`` differential an
+  apples-to-apples table;
+* **metrics endpoint** — :class:`MetricsServer` is the tiny HTTP listener
+  behind ``mantle-serve --metrics-port``: every GET answers one JSON
+  metrics snapshot (schema-checked by :func:`validate_metrics_snapshot`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.sim import telemetry as telemetry_module
+from repro.sim.trace import (
+    CAT_OP,
+    Span,
+    chrome_trace_events,
+    span_from_jsonable,
+    span_to_jsonable,
+)
+
+#: Snapshot schema version; bump on incompatible payload changes.
+SNAPSHOT_VERSION = 1
+
+#: Phase columns of the sim-vs-live differential, in display order.
+#: ``queue:*`` refinements fold into ``queue``; anything else (there is
+#: nothing else today) would fold into ``other``.
+PHASE_KINDS = ("wire", "fsync", "cpu", "queue")
+
+
+# ---------------------------------------------------------------------------
+# Snapshot payloads (what the obs.* control RPCs answer with).
+# ---------------------------------------------------------------------------
+
+def snapshot_from_tracer(process: str, tracer, epoch_us: float = 0.0,
+                         now_us: float = 0.0,
+                         clock: str = "sim") -> Dict[str, Any]:
+    """Build a trace snapshot from any tracer (simulated or wall-clock)."""
+    return {
+        "version": SNAPSHOT_VERSION,
+        "process": process,
+        "clock": clock,
+        "epoch_us": epoch_us,
+        "now_us": now_us,
+        "enabled": bool(tracer.enabled),
+        "started": getattr(tracer, "started", 0),
+        "finished": getattr(tracer, "finished", 0),
+        "dropped": tracer.dropped,
+        "spans": [span_to_jsonable(span) for span in tracer.spans],
+    }
+
+
+def trace_snapshot_payload(runtime) -> Dict[str, Any]:
+    """One live process's span buffer, with its wall-clock epoch."""
+    return snapshot_from_tracer(runtime.process_name, runtime.tracer,
+                                epoch_us=runtime.epoch_us,
+                                now_us=runtime.now, clock="wallclock")
+
+
+def metrics_snapshot_payload(runtime) -> Dict[str, Any]:
+    """One live process's metrics: tracer counters + telemetry windows."""
+    tracer = runtime.tracer
+    telemetry = runtime.telemetry
+    return {
+        "version": SNAPSHOT_VERSION,
+        "process": runtime.process_name,
+        "clock": "wallclock",
+        "epoch_us": runtime.epoch_us,
+        "now_us": runtime.now,
+        "tracing": {
+            "enabled": bool(tracer.enabled),
+            "started": getattr(tracer, "started", 0),
+            "finished": getattr(tracer, "finished", 0),
+            "dropped": tracer.dropped,
+        },
+        "telemetry": telemetry.export_payload(
+            now=runtime.now, extra={"enabled": bool(telemetry.enabled)}),
+    }
+
+
+def validate_trace_snapshot(payload: Any) -> List[str]:
+    """Schema-check one trace snapshot; returns a list of problems."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["snapshot is not an object"]
+    for field, types in (("process", str), ("epoch_us", (int, float)),
+                         ("now_us", (int, float)), ("spans", list)):
+        if not isinstance(payload.get(field), types):
+            problems.append(f"missing/mistyped field {field!r}")
+    if payload.get("version") != SNAPSHOT_VERSION:
+        problems.append(f"unknown snapshot version {payload.get('version')!r}")
+    for i, span in enumerate(payload.get("spans") or ()):
+        if not isinstance(span, dict) or "id" not in span \
+                or "start_us" not in span or "name" not in span:
+            problems.append(f"spans[{i}]: not a span record")
+    return problems
+
+
+def validate_metrics_snapshot(payload: Any) -> List[str]:
+    """Schema-check one metrics snapshot; returns a list of problems."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["snapshot is not an object"]
+    for field, types in (("process", str), ("epoch_us", (int, float)),
+                         ("now_us", (int, float)), ("tracing", dict),
+                         ("telemetry", dict)):
+        if not isinstance(payload.get(field), types):
+            problems.append(f"missing/mistyped field {field!r}")
+    if payload.get("version") != SNAPSHOT_VERSION:
+        problems.append(f"unknown snapshot version {payload.get('version')!r}")
+    telemetry = payload.get("telemetry")
+    if isinstance(telemetry, dict):
+        rows = telemetry.get("rows")
+        if not isinstance(rows, list):
+            problems.append("telemetry.rows missing")
+        else:
+            problems.extend(telemetry_module.validate_rows(rows))
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Cross-process merge and validation.
+# ---------------------------------------------------------------------------
+
+def _spans_of(snapshot: Dict[str, Any]) -> List[Span]:
+    return [span_from_jsonable(d) for d in snapshot.get("spans", ())]
+
+
+def merge_chrome_trace(snapshots: Iterable[Dict[str, Any]]) -> dict:
+    """Merge per-process snapshots into one Chrome-trace payload.
+
+    Each process becomes a pid track; timestamps are shifted so every
+    track shares the earliest process's epoch as t=0 (keeping ``ts``
+    non-negative, which the validator requires).  Cross-process edges
+    survive as ``remote_parent_proc``/``remote_parent_span`` span args.
+    """
+    snaps = sorted(snapshots, key=lambda s: s.get("process", ""))
+    if not snaps:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    base = min(float(s.get("epoch_us", 0.0)) for s in snaps)
+    events: List[dict] = []
+    for pid, snap in enumerate(snaps, start=1):
+        offset = float(snap.get("epoch_us", 0.0)) - base
+        events.extend(chrome_trace_events(
+            _spans_of(snap), pid=pid, process_name=snap.get("process"),
+            ts_offset_us=offset))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _global_index(snapshots: Iterable[Dict[str, Any]]):
+    """Index spans by (process, id); compute each span's global parent key.
+
+    Parent preference: an explicit cross-process link first, then the
+    within-process dynamic parent, then a ``join_to`` edge (a 2PC fan-out
+    leg joining back into the span that awaited it — legs run as their own
+    tasks, so they have no dynamic parent), then the declared parent.
+    Returns ``(spans, parent_of)`` where keys are ``(process, span_id)``.
+    """
+    spans: Dict[Tuple[str, int], Span] = {}
+    for snap in snapshots:
+        proc = snap.get("process", "")
+        for span in _spans_of(snap):
+            spans[(proc, span.span_id)] = span
+    parent_of: Dict[Tuple[str, int], Optional[Tuple[str, int]]] = {}
+    for (proc, span_id), span in spans.items():
+        parent = None
+        attrs = span.attrs or {}
+        if "remote_parent_proc" in attrs:
+            parent = (str(attrs["remote_parent_proc"]),
+                      int(attrs.get("remote_parent_span", 0)))
+        elif span.dyn_parent_id:
+            parent = (proc, span.dyn_parent_id)
+        elif attrs.get("join_to"):
+            parent = (proc, int(attrs["join_to"]))
+        elif span.parent_id:
+            parent = (proc, span.parent_id)
+        if parent is not None and parent not in spans:
+            # Parent fell out of the ring (or lives in a process we did
+            # not snapshot): treat as a root, the validators report it.
+            parent = None
+        parent_of[(proc, span_id)] = parent
+    return spans, parent_of
+
+
+def cross_process_problems(snapshots: List[Dict[str, Any]]) -> List[str]:
+    """Check the merged trace's cross-process structure; returns problems.
+
+    * every ``remote_parent_*`` reference must resolve to a snapshotted
+      span in the named process;
+    * every ``op`` root must head a *connected* tree — no descendant may
+      sit in a cycle or dangle off a missing parent (both would mean the
+      re-parenting protocol lost an edge).
+    """
+    problems: List[str] = []
+    spans: Dict[Tuple[str, int], Span] = {}
+    procs = set()
+    for snap in snapshots:
+        proc = snap.get("process", "")
+        procs.add(proc)
+        for span in _spans_of(snap):
+            spans[(proc, span.span_id)] = span
+    for (proc, span_id), span in sorted(spans.items()):
+        attrs = span.attrs or {}
+        if "remote_parent_proc" not in attrs:
+            continue
+        target = (str(attrs["remote_parent_proc"]),
+                  int(attrs.get("remote_parent_span", 0)))
+        if target[0] not in procs:
+            problems.append(
+                f"{proc}#{span_id} ({span.name}): remote parent process "
+                f"{target[0]!r} was not snapshotted")
+        elif target not in spans:
+            problems.append(
+                f"{proc}#{span_id} ({span.name}): remote parent "
+                f"{target[0]}#{target[1]} not found (dropped span?)")
+    return problems
+
+
+def op_tree_stats(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Connectivity stats for the merged trace: per-op-root tree sizes and
+    the set of processes each tree touches (the e2e assertion surface)."""
+    spans, parent_of = _global_index(snapshots)
+    children: Dict[Tuple[str, int], List[Tuple[str, int]]] = {}
+    for key, parent in parent_of.items():
+        if parent is not None:
+            children.setdefault(parent, []).append(key)
+    trees = []
+    for key, span in sorted(spans.items()):
+        if span.category != CAT_OP or parent_of[key] is not None:
+            continue
+        seen = set()
+        stack = [key]
+        touched = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            touched.add(node[0])
+            stack.extend(children.get(node, ()))
+        trees.append({"root": f"{key[0]}#{key[1]}", "op": span.name,
+                      "spans": len(seen), "processes": sorted(touched)})
+    return {"ops": len(trees), "trees": trees}
+
+
+def dyn_self_time_problems(snapshots: List[Dict[str, Any]],
+                           tolerance_us: float = 1.0) -> List[str]:
+    """Within each process, dynamic-tree self-times must be non-negative.
+
+    Spans opened on one task stack nest strictly (a child's interval lies
+    inside its dynamic parent's), so duration minus the sum of direct
+    dynamic children must never go meaningfully negative — the telescoping
+    property every downstream analysis assumes.  ``tolerance_us`` absorbs
+    clock-read ordering dust on the wall clock.
+    """
+    problems: List[str] = []
+    for snap in snapshots:
+        proc = snap.get("process", "")
+        spans = {s.span_id: s for s in _spans_of(snap)
+                 if s.end_us is not None}
+        child_us: Dict[int, float] = {}
+        for span in spans.values():
+            pid = span.dyn_parent_id
+            if pid and pid in spans:
+                child_us[pid] = child_us.get(pid, 0.0) + span.duration_us
+        for span_id, span in sorted(spans.items()):
+            self_us = span.duration_us - child_us.get(span_id, 0.0)
+            if self_us < -tolerance_us:
+                problems.append(
+                    f"{proc}#{span_id} ({span.name}): negative self time "
+                    f"{self_us:.1f}us")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Per-op phase breakdown (the sim-vs-live differential's data source).
+# ---------------------------------------------------------------------------
+
+class OpPhases:
+    """Aggregated phase costs for one op kind across its whole tree."""
+
+    __slots__ = ("op", "count", "total_latency_us", "phase_us")
+
+    def __init__(self, op: str):
+        self.op = op
+        self.count = 0
+        self.total_latency_us = 0.0
+        self.phase_us: Dict[str, float] = {}
+
+    @property
+    def mean_latency_us(self) -> float:
+        return self.total_latency_us / self.count if self.count else 0.0
+
+    def mean_phase_us(self, kind: str) -> float:
+        return self.phase_us.get(kind, 0.0) / self.count if self.count \
+            else 0.0
+
+    @property
+    def mean_other_us(self) -> float:
+        """Latency no charge explains: blocked/idle residual per op."""
+        accounted = sum(self.phase_us.values())
+        return max(0.0, (self.total_latency_us - accounted) / self.count) \
+            if self.count else 0.0
+
+
+def _fold_kind(kind: str) -> str:
+    if kind.startswith("queue"):
+        return "queue"
+    return kind if kind in PHASE_KINDS else "other"
+
+
+def phase_breakdown(snapshots: List[Dict[str, Any]]) -> Dict[str, OpPhases]:
+    """Fold every op root's *global* tree into per-kind phase costs.
+
+    Charges land on exactly one span each (the innermost open one at
+    charge time) and the server-side handler time is subtracted from the
+    caller's wire charge, so summing a tree's charges — across processes,
+    via the remote links — double-counts nothing.  Works identically on
+    simulated and live snapshots; only successful ops are folded.
+    """
+    spans, parent_of = _global_index(snapshots)
+    children: Dict[Tuple[str, int], List[Tuple[str, int]]] = {}
+    for key, parent in parent_of.items():
+        if parent is not None:
+            children.setdefault(parent, []).append(key)
+    out: Dict[str, OpPhases] = {}
+    for key, span in sorted(spans.items()):
+        if span.category != CAT_OP or parent_of[key] is not None:
+            continue
+        if not span.ok or span.end_us is None:
+            continue
+        agg = out.get(span.name)
+        if agg is None:
+            agg = out[span.name] = OpPhases(span.name)
+        agg.count += 1
+        agg.total_latency_us += span.duration_us
+        seen = set()
+        stack = [key]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            node_span = spans[node]
+            if node_span.costs:
+                for (kind, _host), us in node_span.costs.items():
+                    folded = _fold_kind(kind)
+                    agg.phase_us[folded] = agg.phase_us.get(folded, 0.0) + us
+            stack.extend(children.get(node, ()))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Snapshot collection over the wire.
+# ---------------------------------------------------------------------------
+
+async def call_endpoint(endpoint: str, method: str,
+                        timeout_s: float = 10.0) -> Any:
+    """One throwaway-connection RPC (used for obs.* control methods)."""
+    from repro.runtime import wire
+
+    host, port = endpoint.rsplit(":", 1)
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, int(port)), timeout_s)
+    try:
+        writer.write(wire.encode_request(1, method, (), {}))
+        await writer.drain()
+        payload = await asyncio.wait_for(wire.read_frame(reader), timeout_s)
+    finally:
+        writer.close()
+    return wire.decode_result(payload)
+
+
+def collect_snapshots(endpoints: Dict[str, str],
+                      method: str = "obs.trace_snapshot"
+                      ) -> List[Dict[str, Any]]:
+    """Fetch one obs snapshot from each role endpoint (blocking helper).
+
+    ``endpoints`` maps role name -> ``host:port``.  Runs its own event
+    loop, so call it from synchronous driver code only (the ``mantle-exp``
+    commands), never from inside a live cluster's loop.
+    """
+    async def _collect():
+        out = []
+        for _role, endpoint in sorted(endpoints.items()):
+            out.append(await call_endpoint(endpoint, method))
+        return out
+
+    return asyncio.run(_collect())
+
+
+# ---------------------------------------------------------------------------
+# The --metrics-port HTTP endpoint.
+# ---------------------------------------------------------------------------
+
+class MetricsServer:
+    """Minimal HTTP/1.0 listener serving one JSON metrics snapshot per GET.
+
+    Deliberately not a web framework: it answers every request (any path,
+    any method) with the current :func:`metrics_snapshot_payload`, which
+    is all a scrape loop or a curl in CI needs.
+    """
+
+    def __init__(self, runtime, host: str = "127.0.0.1", port: int = 0):
+        self.runtime = runtime
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            # Drain the request head (request line + headers) best-effort;
+            # the response does not depend on it.
+            try:
+                await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=5.0)
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError):
+                pass
+            body = json.dumps(metrics_snapshot_payload(self.runtime),
+                              separators=(",", ":")).encode("utf-8")
+            writer.write(
+                b"HTTP/1.0 200 OK\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
+                + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()

@@ -9,8 +9,11 @@ Each invocation hosts one service over the live wire protocol::
 
 Once the listener is bound the process prints ``MANTLE-SERVE READY
 port=<port>`` on stdout (the handshake :class:`~repro.runtime.live
-.ProcessCluster` waits for) and serves until SIGTERM/SIGINT, which it traps
-for a clean exit 0.
+.ProcessCluster` waits for; with ``--metrics-port`` the line also carries
+``metrics=<port>``) and serves until SIGTERM/SIGINT, which it traps for a
+clean exit 0.  ``--trace``/``--telemetry`` turn on the wall-clock
+instrumentation; every role then answers ``obs.trace_snapshot`` /
+``obs.metrics_snapshot`` control RPCs on its wire port.
 
 ``mantle-serve cluster`` is the quickstart: it spawns all three roles as
 child processes, prints the proxy endpoint, and tears the cluster down on
@@ -55,8 +58,12 @@ async def _purge_loop(service) -> None:
 async def _serve_role(args) -> int:
     from repro.runtime import live
 
-    runtime = AsyncioRuntime()
     config = _load_config(args.config)
+    tracer, telemetry = live.build_observability(
+        config, args.role, force_trace=args.trace,
+        force_telemetry=args.telemetry)
+    runtime = AsyncioRuntime(tracer=tracer, telemetry=telemetry,
+                             process_name=args.role)
     background = None
     if args.role == "tafdb":
         dispatcher = live.build_tafdb_role(config, runtime,
@@ -74,7 +81,16 @@ async def _serve_role(args) -> int:
 
     server = WireServer(runtime, dispatcher, host=args.host, port=args.port)
     port = await server.start()
-    print(f"MANTLE-SERVE READY port={port}", flush=True)
+    metrics_server = None
+    ready = f"MANTLE-SERVE READY port={port}"
+    if args.metrics_port is not None:
+        from repro.runtime.obs import MetricsServer
+
+        metrics_server = MetricsServer(runtime, host=args.host,
+                                       port=args.metrics_port)
+        metrics_port = await metrics_server.start()
+        ready += f" metrics={metrics_port}"
+    print(ready, flush=True)
 
     stop = asyncio.Event()
     loop = asyncio.get_event_loop()
@@ -84,6 +100,8 @@ async def _serve_role(args) -> int:
 
     if background is not None:
         background.cancel()
+    if metrics_server is not None:
+        await metrics_server.stop()
     await server.stop()
     return 0
 
@@ -91,9 +109,13 @@ async def _serve_role(args) -> int:
 def _run_cluster(args) -> int:
     from repro.runtime.live import ProcessCluster
 
-    cluster = ProcessCluster(config_name=args.config, wal_dir=args.wal_dir)
+    cluster = ProcessCluster(config_name=args.config, wal_dir=args.wal_dir,
+                             trace=args.trace, telemetry=args.telemetry,
+                             metrics=args.metrics)
     endpoint = cluster.start()
     print(f"MANTLE-CLUSTER READY proxy={endpoint}", flush=True)
+    if cluster.metrics_ports:
+        print(f"metrics ports: {cluster.metrics_ports}", flush=True)
     print("press Ctrl-C to stop", flush=True)
     try:
         signal.pause()
@@ -122,6 +144,11 @@ def main(argv: Optional[list] = None) -> int:
                        help="config preset: small | base | paper | default")
         p.add_argument("--wal-dir", default=None,
                        help="directory for write-ahead files (omit: no wal)")
+        p.add_argument("--trace", action="store_true",
+                       help="enable wall-clock span tracing "
+                            "(also on when the config sets tracing=True)")
+        p.add_argument("--telemetry", action="store_true",
+                       help="enable windowed wall-clock telemetry")
 
     for role in ("tafdb", "indexnode", "proxy"):
         p = sub.add_parser(role, help=f"serve the {role} role")
@@ -129,6 +156,10 @@ def main(argv: Optional[list] = None) -> int:
         p.add_argument("--host", default="127.0.0.1")
         p.add_argument("--port", type=int, default=0,
                        help="listen port (0 = ephemeral)")
+        p.add_argument("--metrics-port", type=int, default=None,
+                       help="serve a JSON metrics snapshot over HTTP on "
+                            "this port (0 = ephemeral; advertised on the "
+                            "READY line as metrics=<port>)")
         if role == "proxy":
             p.add_argument("--tafdb", default=None,
                            help="comma-separated TafDB endpoints")
@@ -138,6 +169,8 @@ def main(argv: Optional[list] = None) -> int:
     p = sub.add_parser("cluster",
                        help="spawn tafdb+indexnode+proxy as child processes")
     common(p)
+    p.add_argument("--metrics", action="store_true",
+                   help="give every role an ephemeral metrics HTTP port")
 
     args = parser.parse_args(argv)
     if args.role == "cluster":

@@ -28,7 +28,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import struct
-from typing import Any, Dict, Tuple, Type
+from typing import Any, Dict, Optional, Tuple, Type
 
 from repro.errors import FrameError
 from repro.types import EntryKind, OpResult, Permission
@@ -157,17 +157,37 @@ async def read_frame(reader) -> Any:
 # -- request/response envelopes ---------------------------------------------
 
 def encode_request(request_id: int, method: str, args: Tuple,
-                   kwargs: Dict[str, Any]) -> bytes:
-    return pack_frame({
+                   kwargs: Dict[str, Any],
+                   trace: Optional[Dict[str, Any]] = None) -> bytes:
+    """Encode one request frame.
+
+    ``trace`` is optional cross-process span context —
+    ``{"proc": <caller process name>, "span": <caller span id>}`` — added
+    to the envelope only when tracing is on.  Frames without it are
+    byte-identical to the pre-trace protocol (the golden file pins both
+    shapes), so traced and untraced peers interoperate.
+    """
+    payload: Dict[str, Any] = {
         "id": request_id,
         "method": method,
         "args": [to_jsonable(a) for a in args],
         "kwargs": {k: to_jsonable(v) for k, v in kwargs.items()},
-    })
+    }
+    if trace is not None:
+        payload["trace"] = trace
+    return pack_frame(payload)
 
 
 def encode_response(request_id: int, result: Any = None,
-                    error: Any = None) -> bytes:
+                    error: Any = None,
+                    srv_us: Optional[float] = None) -> bytes:
+    """Encode one response frame.
+
+    ``srv_us`` is the server-side handler wall time, stamped only when the
+    server's tracer is on; the caller subtracts it from the round-trip
+    time to isolate the wire cost (the live analogue of the simulator's
+    modelled transit charge).
+    """
     if error is not None:
         from repro.errors import MetadataError, error_to_wire
         if not isinstance(error, MetadataError):
@@ -175,8 +195,11 @@ def encode_response(request_id: int, result: Any = None,
                 f"{type(error).__name__}: {error}")
         return pack_frame({"id": request_id, "ok": False,
                            "error": error_to_wire(error)})
-    return pack_frame({"id": request_id, "ok": True,
-                       "result": to_jsonable(result)})
+    payload: Dict[str, Any] = {"id": request_id, "ok": True,
+                               "result": to_jsonable(result)}
+    if srv_us is not None:
+        payload["srv_us"] = srv_us
+    return pack_frame(payload)
 
 
 def decode_result(payload: Dict[str, Any]) -> Any:

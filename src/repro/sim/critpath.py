@@ -28,9 +28,11 @@ gating segments:
   *another process*, decomposed into its causes.  The cross-process waits
   in the stack are the Raft commit — the IndexNode service stamps the
   commit timeline so the wait splits into ``raft.queue`` (batch window),
-  ``raft.flush`` (leader log fsync) and ``raft.replicate`` (the
-  replication round trip, follower fsyncs included — network-shaped from
-  the waiter's perspective) — and the follower read barrier
+  ``raft.flush`` (leader log fsync), ``raft.follower_flush`` /
+  ``raft.follower_apply`` (the gating follower's fsync and apply,
+  piggybacked on its AppendReply and charged to the follower's host) and
+  ``raft.replicate`` (the remaining replication round trips — genuinely
+  network-shaped) — and the follower read barrier
   (``raft.read_barrier``, the commitIndex round trip replica reads wait
   on, charged as wire),
 * an ``idle`` residual for self-time no charge or blocked edge explains.
@@ -64,10 +66,12 @@ the overrides actually applied (``MantleConfig.overrides``) and compare.
 ``mantle-exp whatif`` automates exactly that loop.
 
 Known first-order limits (documented, and why validation picks the probes
-it does): ``raft.replicate`` mixes wire with follower fsync/cpu, so it
-maps to no single component and net.rtt predictions on write paths are
-conservative; queue segments scale with their underlying resource only
-approximately (we assume wait shrinks proportionally with service time).
+it does): with the follower piggyback split, ``raft.replicate`` is the
+wire-only remainder and maps to ``net.rtt`` (the stamps come from the
+*gating* follower, so residual skew from the non-gating replicas still
+lands in replicate); queue segments scale with their underlying resource
+only approximately (we assume wait shrinks proportionally with service
+time).
 Most importantly the model is **open-loop**: past the saturation knee,
 shrinking one center raises throughput, which refills the other queues
 and claws back much of the predicted gain — a closed-loop effect no
@@ -292,7 +296,10 @@ def _fold_children(kids: List[Span]) -> List[Span]:
     return folded
 
 
-def build_critpath(spans: Iterable[Span], name: str = "") -> CritPath:
+def build_critpath(spans: Iterable[Span], name: str = "",
+                   root_category: str = CAT_OP,
+                   root_name: Optional[str] = None,
+                   require_ok: bool = True) -> CritPath:
     """Extract and aggregate the critical path of every traced op.
 
     Only *successful*, *dynamically rooted* ``op``-category spans are
@@ -301,6 +308,11 @@ def build_critpath(spans: Iterable[Span], name: str = "") -> CritPath:
     sum to the root's duration exactly — the telescoping identity the
     profiler relies on, inherited here segment-by-segment, with fan-out
     groups contributing exactly their gating leg.
+
+    ``root_category`` / ``root_name`` / ``require_ok`` repoint the fold at
+    non-op roots — e.g. ``root_category="raft", root_name="raft.election"``
+    decomposes a traced failover's unavailability window instead of client
+    ops (lost candidacies are still skipped unless ``require_ok=False``).
     """
     crit = CritPath(name)
     finished = [s for s in spans if s.end_us is not None]
@@ -328,11 +340,13 @@ def build_critpath(spans: Iterable[Span], name: str = "") -> CritPath:
 
     gated = crit.gated
     for span in finished:
-        if span.category != CAT_OP:
+        if span.category != root_category:
+            continue
+        if root_name is not None and span.name != root_name:
             continue
         if span.dyn_parent_id and span.dyn_parent_id in by_id:
             continue  # op nested under another op's tree: not a root
-        if not span.ok:
+        if require_ok and not span.ok:
             crit.op_failures += 1
             continue
         crit.ops += 1
@@ -404,7 +418,8 @@ def contrast_with_profile(crit: CritPath, profile) -> List[ContrastRow]:
             continue
         key = (host, kind)
         total[key] = total.get(key, 0.0) + us
-    blocked_frames = ("raft.queue", "raft.flush", "raft.replicate",
+    blocked_frames = ("raft.queue", "raft.flush", "raft.follower_flush",
+                      "raft.follower_apply", "raft.replicate",
                       "raft.commit", "raft.read_barrier")
     gated: Dict[Tuple[Optional[str], str], float] = {}
     for (host, frame, kind), us in crit.gated.items():
@@ -428,14 +443,16 @@ def component_of(host: Optional[str], frame: str, kind: str,
 
     Returns ``None`` for centers no single cost constant controls:
     ``idle``, latch queueing (serialisation, not a cost), the Raft batch
-    window (config, not a cost) and the mixed ``raft.replicate`` edge.
+    window (config, not a cost) and the undecomposed ``raft.commit``
+    fallback.  ``raft.replicate`` — wire-only now that follower fsync/cpu
+    are split out via the AppendReply piggyback — maps to ``net.rtt``.
     Queue segments map to the component of the resource they waited on
     (first-order: waits shrink with service time) unless
     ``include_queue`` is off.
     """
     if kind == "idle":
         return None
-    if frame in ("raft.queue", "raft.replicate", "raft.commit"):
+    if frame in ("raft.queue", "raft.commit"):
         return None
     if kind == "wire":
         return "net.rtt"

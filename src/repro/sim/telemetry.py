@@ -400,13 +400,24 @@ class Telemetry:
                                   for col in EXPORT_COLUMNS) + "\n")
         return len(rows)
 
-    def write_json(self, path: str, now: Optional[float] = None,
-                   extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        """Write ``{"window_us", "rows", **extra}`` as JSON."""
+    def export_payload(self, now: Optional[float] = None,
+                       extra: Optional[Dict[str, Any]] = None
+                       ) -> Dict[str, Any]:
+        """Build the ``{"window_us", "rows", **extra}`` export payload.
+
+        This is the JSON document ``write_json`` persists and the live
+        metrics endpoint (``mantle-serve --metrics-port``) serves.
+        """
         payload: Dict[str, Any] = {"window_us": self.window_us,
                                    "rows": self.export_rows(now)}
         if extra:
             payload.update(extra)
+        return payload
+
+    def write_json(self, path: str, now: Optional[float] = None,
+                   extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Write ``{"window_us", "rows", **extra}`` as JSON."""
+        payload = self.export_payload(now, extra)
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=1)
         return payload
@@ -529,6 +540,12 @@ class NullTelemetry:
 
     def export_rows(self, now=None):
         return []
+
+    def export_payload(self, now=None, extra=None):
+        payload = {"window_us": self.window_us, "rows": []}
+        if extra:
+            payload.update(extra)
+        return payload
 
 
 NULL_TELEMETRY = NullTelemetry()

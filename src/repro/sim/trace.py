@@ -190,6 +190,29 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+class RemoteSpanRef:
+    """A parent span living in *another process* (live runtime only).
+
+    The wire protocol carries ``{"proc", "span"}`` trace context on each
+    request frame; the receiving server rebuilds it as a ``RemoteSpanRef``
+    and passes it where sim code passes the caller's :class:`Span`.  A span
+    begun with a remote parent becomes a *local* root (``parent_id`` 0 —
+    ids are only unique per process) annotated with
+    ``remote_parent_proc``/``remote_parent_span``, which is what the
+    cross-process trace merge (:mod:`repro.runtime.obs`) stitches back into
+    one tree.
+    """
+
+    __slots__ = ("proc", "span_id")
+
+    def __init__(self, proc: str, span_id: int):
+        self.proc = proc
+        self.span_id = span_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteSpanRef({self.proc!r}, #{self.span_id})"
+
+
 class NullTracer:
     """The disabled tracer: every call is a no-op.
 
@@ -213,6 +236,9 @@ class NullTracer:
     def begin(self, name: str, now: float, category: str = "",
               parent: Any = None, host: Optional[str] = None):
         return NULL_SPAN
+
+    def current_span(self):
+        return None
 
     def end(self, span, now: float, ok: bool = True) -> None:
         pass
@@ -315,7 +341,9 @@ class Tracer:
 
         ``parent`` is another :class:`Span` (or :data:`NULL_SPAN`, in which
         case the child is elided too, keeping whole trees atomic under
-        sampling), or ``None`` for a root span.
+        sampling), ``None`` for a root span, or a :class:`RemoteSpanRef`
+        for a parent in another live process — the span becomes a local
+        root carrying the remote link in its attributes.
 
         Elided spans are still pushed onto the opening process's stack so
         that work done under them charges the unattributed bucket rather
@@ -323,6 +351,9 @@ class Tracer:
         """
         proc = self._sim._active_process if self._sim is not None else None
         stack = self._stacks.get(proc)
+        remote = None
+        if isinstance(parent, RemoteSpanRef):
+            remote, parent = parent, None
         if parent is None:
             self._roots_seen += 1
             if self._sample_every > 1 and \
@@ -343,11 +374,21 @@ class Tracer:
             span = Span(self._next_id, parent_id, name, category, host, now)
             if stack:
                 span.dyn_parent_id = stack[-1].span_id
+            if remote is not None:
+                span.annotate(remote_parent_proc=remote.proc,
+                              remote_parent_span=remote.span_id)
         if stack is None:
             self._stacks[proc] = [span]
         else:
             stack.append(span)
         return span
+
+    def current_span(self):
+        """The innermost open span of the currently executing process, or
+        ``None`` (``NULL_SPAN`` while an elided subtree is open)."""
+        proc = self._sim._active_process if self._sim is not None else None
+        stack = self._stacks.get(proc)
+        return stack[-1] if stack else None
 
     def end(self, span, now: float, ok: bool = True) -> None:
         """Close a span and commit it to the ring."""
@@ -432,6 +473,60 @@ class Tracer:
         self.finished = 0
         self._stacks.clear()
         self.unattributed.clear()
+
+
+# ---------------------------------------------------------------------------
+# Span <-> JSON (live snapshot collection crosses process boundaries).
+# ---------------------------------------------------------------------------
+
+def span_to_jsonable(span: Span) -> Dict[str, Any]:
+    """Flatten one finished span into JSON-safe structures.
+
+    Tuple-keyed cost maps become lists of ``[key..., us]`` rows; ``None``
+    hosts stay ``None``.  The inverse is :func:`span_from_jsonable`.
+    """
+    out: Dict[str, Any] = {
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "dyn_parent": span.dyn_parent_id,
+        "name": span.name,
+        "cat": span.category,
+        "host": span.host,
+        "start_us": span.start_us,
+        "end_us": span.end_us,
+        "ok": span.ok,
+    }
+    if span.attrs:
+        out["attrs"] = dict(span.attrs)
+    if span.costs:
+        out["costs"] = [[kind, host, us]
+                        for (kind, host), us in span.costs.items()]
+    if span.queue_res:
+        out["queue_res"] = [[res, host, us]
+                            for (res, host), us in span.queue_res.items()]
+    if span.blocked:
+        out["blocked"] = [[cause, kind, host, us]
+                          for (cause, kind, host), us in span.blocked.items()]
+    return out
+
+
+def span_from_jsonable(data: Dict[str, Any]) -> Span:
+    """Rebuild a :class:`Span` from :func:`span_to_jsonable` output."""
+    span = Span(data["id"], data.get("parent", 0), data["name"],
+                data.get("cat", ""), data.get("host"), data["start_us"])
+    span.end_us = data.get("end_us")
+    span.ok = bool(data.get("ok", True))
+    span.dyn_parent_id = data.get("dyn_parent", 0)
+    attrs = data.get("attrs")
+    if attrs:
+        span.attrs = dict(attrs)
+    for kind, host, us in data.get("costs", ()):
+        span.add_cost(kind, host, us)
+    for res, host, us in data.get("queue_res", ()):
+        span.add_queue_resource(res, host, us)
+    for cause, kind, host, us in data.get("blocked", ()):
+        span.add_blocked(cause, kind, host, us)
+    return span
 
 
 # ---------------------------------------------------------------------------
@@ -534,12 +629,15 @@ def category_summary(spans: Iterable[Span]) -> Dict[str, Tuple[int, float]]:
 # ---------------------------------------------------------------------------
 
 def chrome_trace_events(spans: Iterable[Span], pid: int = 1,
-                        process_name: Optional[str] = None) -> List[dict]:
+                        process_name: Optional[str] = None,
+                        ts_offset_us: float = 0.0) -> List[dict]:
     """Render spans as Chrome-trace complete events for one process track.
 
     Each distinct host becomes a thread (tid) inside the process; spans with
     no host attribution share a synthetic "orchestration" thread.  ``ts`` is
     simulated microseconds, which is exactly the unit the format wants.
+    ``ts_offset_us`` shifts every timestamp — the live trace merge uses it
+    to put per-process wallclocks (each with its own epoch) on one axis.
     """
     events: List[dict] = []
     if process_name:
@@ -563,7 +661,7 @@ def chrome_trace_events(spans: Iterable[Span], pid: int = 1,
             "name": span.name,
             "cat": span.category or "span",
             "ph": "X",
-            "ts": span.start_us,
+            "ts": span.start_us + ts_offset_us,
             "dur": span.duration_us,
             "pid": pid,
             "tid": tid_of(span.host),

@@ -83,6 +83,18 @@ class TestGoldenPin:
             7, "perform", (O.Mkdir("/bucket/logs").to_wire(),), {})
         assert frame.hex() == golden["request_frame_hex"]
 
+    def test_traced_request_frame_matches_golden(self, golden):
+        frame = wire.encode_request(
+            7, "perform", (O.Mkdir("/bucket/logs").to_wire(),), {},
+            trace={"proc": "client", "span": 12})
+        assert frame.hex() == golden["traced_request_frame_hex"]
+
+    def test_response_frames_match_golden(self, golden):
+        plain = wire.encode_response(7, result={"inode": 9})
+        assert plain.hex() == golden["response_frame_hex"]
+        timed = wire.encode_response(7, result={"inode": 9}, srv_us=321.5)
+        assert timed.hex() == golden["timed_response_frame_hex"]
+
     def test_error_wire_matches_golden(self, golden):
         samples = {
             "NoSuchPathError": NoSuchPathError("/a/b", "b"),
@@ -204,6 +216,53 @@ class TestErrorCodec:
         restored = error_from_wire({"error": "NeverHeardOfIt",
                                     "args": ["boom"]})
         assert isinstance(restored, MetadataError)
+
+
+class TestTraceEnvelope:
+    """The trace-context / server-time fields are strictly additive: absent
+    when tracing is off (old peers see the exact pre-trace bytes) and
+    ignorable when present (old decoders just see extra keys)."""
+
+    def test_untraced_request_is_byte_identical_to_pre_trace_frame(
+            self, golden):
+        # trace=None must not leave any residue in the envelope.
+        frame = wire.encode_request(
+            7, "perform", (O.Mkdir("/bucket/logs").to_wire(),), {},
+            trace=None)
+        assert frame.hex() == golden["request_frame_hex"]
+
+    def test_trace_context_round_trips(self):
+        frame = wire.encode_request(3, "prepare", (), {},
+                                    trace={"proc": "proxy", "span": 44})
+        payload = wire.unpack_payload(frame[4:])
+        assert payload["trace"] == {"proc": "proxy", "span": 44}
+        assert payload["method"] == "prepare"
+
+    def test_old_frames_without_trace_still_decode(self):
+        frame = wire.encode_request(3, "prepare", (), {})
+        payload = wire.unpack_payload(frame[4:])
+        assert "trace" not in payload
+        # Server-side convention: absent context means an untraced caller.
+        assert payload.get("trace") is None
+
+    def test_srv_us_round_trips_and_is_optional(self):
+        timed = wire.unpack_payload(
+            wire.encode_response(9, result=1, srv_us=17.25)[4:])
+        assert timed["srv_us"] == 17.25
+        assert wire.decode_result(timed) == 1
+        plain = wire.unpack_payload(wire.encode_response(9, result=1)[4:])
+        assert "srv_us" not in plain
+        # Client-side convention: missing srv_us charges the whole round
+        # trip to the wire.
+        assert plain.get("srv_us", 0.0) == 0.0
+
+    def test_error_response_never_carries_srv_us(self):
+        frame = wire.encode_response(
+            9, error=NoSuchPathError("/a/b", "b"), srv_us=5.0)
+        payload = wire.unpack_payload(frame[4:])
+        assert "srv_us" not in payload
+        with pytest.raises(NoSuchPathError):
+            wire.decode_result(payload)
 
 
 class TestMakeOpParity:

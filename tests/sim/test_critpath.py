@@ -156,11 +156,19 @@ class TestComponentMapping:
         assert component_of("any", "rpc:lookup", "wire") == "net.rtt"
         assert component_of("indexnode-0", "raft.read_barrier",
                             "wire") == "net.rtt"
+        # Wire-only now that follower work is split out (AppendReply
+        # piggyback): the replicate remainder scales with the network.
+        assert component_of("indexnode-0", "raft.replicate",
+                            "wire") == "net.rtt"
+        assert component_of("indexnode-1", "raft.follower_flush",
+                            "fsync") == "raft.fsync"
+        assert component_of("indexnode-1", "raft.follower_apply",
+                            "cpu") == "raft.cpu"
 
     def test_unmappable_centers_return_none(self):
         assert component_of(None, "mkdir", "idle") is None
         assert component_of("indexnode-0", "raft.queue", "queue") is None
-        assert component_of("indexnode-0", "raft.replicate", "wire") is None
+        assert component_of("indexnode-0", "raft.commit", "wire") is None
         assert component_of("tafdb-0", "rpc_prepare", "queue:latch") is None
 
     def test_queue_maps_to_resource_component_unless_disabled(self):
@@ -290,6 +298,25 @@ class TestClusterInvariants:
         assert plain.mean_latency_us("mkdir") == \
             traced.mean_latency_us("mkdir")
         assert plain.ops_completed == traced.ops_completed
+
+    @pytest.mark.parametrize("fast", ["1", "0"])
+    def test_replication_edge_splits_follower_phases(self, monkeypatch,
+                                                     fast):
+        """The quorum wait decomposes: the follower's durable flush and
+        apply are attributed to the *follower's* host, and what remains on
+        raft.replicate is pure wire time."""
+        monkeypatch.setenv("MANTLE_SIM_FAST", fast)
+        _m, tracer, _t = _traced_run()
+        crit = critpath_from_tracer(tracer)
+        follower_flush = [(c, us) for c, us in crit.gated.items()
+                          if c[1] == "raft.follower_flush"]
+        assert follower_flush, "no follower flush gating recorded"
+        assert all(c[2] == "fsync" for c, _us in follower_flush)
+        leader_hosts = {c[0] for c in crit.gated if c[1] == "raft.flush"}
+        follower_hosts = {c[0] for c, _us in follower_flush}
+        assert follower_hosts and not (follower_hosts & leader_hosts)
+        assert all(c[2] == "wire" for c in crit.gated
+                   if c[1] == "raft.replicate")
 
     def test_replica_reads_charge_the_read_barrier(self):
         """Follower lookups must not show the commitIndex round trip as
