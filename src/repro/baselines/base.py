@@ -35,6 +35,11 @@ class MetadataSystem:
 
     name = "abstract"
 
+    #: Tenant identity stamped on every op's root span (interference
+    #: blame groups victims/culprits by it).  ``None`` = single-tenant;
+    #: multi-namespace deployments set it to the namespace name.
+    tenant: Optional[str] = None
+
     def __init__(self, sim: Simulator, network: Network):
         self.sim = sim
         self.network = network
@@ -100,6 +105,8 @@ class MetadataSystem:
         if tracer.enabled:
             span = tracer.begin(op.name, self.sim.now, category="op",
                                 host=self.name)
+            if self.tenant is not None:
+                span.annotate(tenant=self.tenant)
             ctx.trace = span
             ctx.tracer = tracer
         else:

@@ -72,6 +72,8 @@ class MantleSystem(MetadataSystem):
         super().__init__(sim, network)
         self.costs = costs
         self.namespace = namespace
+        if namespace != "default":
+            self.tenant = namespace
         self.root_id = root_id
 
         self.tafdb = tafdb or TafDBCluster(

@@ -1,0 +1,285 @@
+"""``mantle-exp blame`` — interference blame: who delayed whom.
+
+Reruns a figure's knee point (or a bare mdtest op) instrumented, folds
+every victim op's critical-path **queue** segments into a blame matrix
+keyed (victim op/tenant, culprit op/tenant, resource, host) using the
+occupant tags the contended resources stamp (``Span.queue_by``), then
+per run
+
+* prints the top culprits — which op type (and tenant) the queueing on
+  victims' paths traces back to, per resource,
+* prints the tenant-by-tenant interference rollup (multitenant runs),
+* renders one exemplar victim path with each queue segment naming its
+  culprits, and
+* writes a schema-validated ``blame_<target>[_<system>].json``.
+
+The matrix conserves **exactly** against the critical path's queue-kind
+segments (every blamed microsecond is a gated queue microsecond and vice
+versa) — checked here with the same tolerance ``critpath`` uses for its
+telescoping identity.
+
+The special target ``multitenant`` runs the two-namespace interference
+scenario instead of a figure point: a "storm" namespace hammering
+shared-directory mkdirs next to a light "victim" namespace doing
+objstats, over one shared TafDB and a co-located IndexNode pool — the
+§7.2 noisy-neighbour setup, now with the victim's queueing attributed to
+the tenant that caused it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.report import Table
+from repro.experiments.base import mdtest_metrics_profiled, pick
+from repro.experiments.exportutil import (
+    default_out,
+    ensure_valid,
+    write_json_payload,
+)
+from repro.experiments.critpathcmd import CONSERVATION_TOLERANCE
+from repro.experiments.profilecmd import Case, resolve_case
+from repro.ops import make_op
+from repro.sim.critpath import (
+    BlameMatrix,
+    CritPath,
+    build_blame,
+    critpath_from_tracer,
+    render_blame_exemplar,
+    to_blame_payload,
+    validate_blame,
+)
+
+
+def _check_conservation(crit: CritPath, blame: BlameMatrix,
+                        who: str) -> None:
+    """Gate on both identities: path segments telescope to latency, and
+    blamed microseconds cover the queue segments exactly."""
+    err = crit.conservation_error()
+    if err > CONSERVATION_TOLERANCE:
+        raise RuntimeError(
+            f"{who}: critical-path segments cover {1 - err:.6%} of "
+            f"end-to-end latency (must telescope exactly)")
+    err = blame.conservation_error()
+    if err > CONSERVATION_TOLERANCE:
+        raise RuntimeError(
+            f"{who}: blame matrix covers {1 - err:.6%} of gated queue "
+            f"time (occupant tags must decompose queue_res exactly)")
+
+
+def blame_point(system: str, target: str, case: Case, scale: str,
+                clients: Optional[int] = None,
+                items: Optional[int] = None,
+                out_base: str = "") -> Dict:
+    """Run one system's knee point instrumented; fold + export blame."""
+    _metrics, tracer, telemetry = mdtest_metrics_profiled(
+        system, case.op, mode=case.mode,
+        clients=clients or pick(scale, *case.clients),
+        items=items or pick(scale, *case.items))
+    crit = critpath_from_tracer(tracer, name=f"{system} {case.op}")
+    blame = build_blame(crit)
+    _check_conservation(crit, blame, system)
+    base = out_base or default_out("blame", target)
+    path = f"{base}_{system}.json"
+    payload = to_blame_payload(blame, crit)
+    ensure_valid(validate_blame(payload), path)
+    write_json_payload(path, payload)
+    return {
+        "system": system,
+        "crit": crit,
+        "blame": blame,
+        "telemetry": telemetry,
+        "path": path,
+        "payload": payload,
+        "exemplar_root": None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The multitenant interference scenario.
+# ---------------------------------------------------------------------------
+
+#: (storm clients, victim clients) per scale — the storm floods shared-
+#: directory mkdirs while the victim reads; quick stays CI-sized.
+_MT_STORM_CLIENTS = (48, 96)
+_MT_VICTIM_CLIENTS = (6, 12)
+_MT_ITEMS = (6, 10)
+_MT_VICTIM_OPS = (24, 48)
+
+
+def run_multitenant(scale: str = "quick", clients: Optional[int] = None,
+                    items: Optional[int] = None, out_base: str = "") -> Dict:
+    """Two namespaces, one shared TafDB, a co-located IndexNode pool.
+
+    ``storm`` runs the fig14-style shared-directory mkdir conflict storm;
+    ``victim`` does light objstats.  Both tenants' ops carry their
+    namespace as the tenant label, so the blame matrix shows how much of
+    the victim's queueing the storm caused — the number §7.2's leader
+    rebalancing exists to shrink.
+    """
+    from repro.core.config import MantleConfig
+    from repro.core.multitenant import MantleDeployment
+    from repro.sim.stats import OpContext
+    from repro.sim.telemetry import Telemetry
+    from repro.sim.trace import Tracer
+
+    storm_clients = clients or pick(scale, *_MT_STORM_CLIENTS)
+    victim_clients = pick(scale, *_MT_VICTIM_CLIENTS)
+    storm_items = items or pick(scale, *_MT_ITEMS)
+    victim_ops = pick(scale, *_MT_VICTIM_OPS)
+
+    config = MantleConfig(num_db_servers=3, num_db_shards=12, db_cores=4,
+                          num_proxies=2, proxy_cores=16, index_cores=4)
+    deployment = MantleDeployment(config, shared_index_pool=3)
+    try:
+        storm = deployment.create_namespace("storm", colocate=True)
+        victim = deployment.create_namespace("victim", colocate=True)
+        storm.bulk_mkdir("/hot")
+        victim.bulk_mkdir("/w")
+        victim.bulk_create("/w/obj")
+
+        sim = deployment.sim
+        sim.tracer = Tracer()
+        sim.tracer.bind(sim)
+        sim.telemetry = Telemetry()
+        latencies: List[float] = []
+
+        def storm_client(i: int):
+            for k in range(storm_items):
+                ctx = OpContext("mkdir")
+                yield from storm.perform(
+                    make_op("mkdir", f"/hot/c{i}k{k}"), ctx=ctx)
+
+        def victim_client():
+            for _ in range(victim_ops):
+                ctx = OpContext("objstat")
+                yield from victim.perform(
+                    make_op("objstat", "/w/obj"), ctx=ctx)
+                latencies.append(ctx.latency)
+
+        procs = [sim.process(storm_client(i))
+                 for i in range(storm_clients)]
+        procs += [sim.process(victim_client())
+                  for _ in range(victim_clients)]
+        sim.run_until(sim.all_of(procs))
+        sim.telemetry.finalize(sim.now)
+        tracer, telemetry = sim.tracer, sim.telemetry
+    finally:
+        deployment.shutdown()
+
+    crit = critpath_from_tracer(tracer, name="multitenant storm+victim")
+    blame = build_blame(crit)
+    _check_conservation(crit, blame, "multitenant")
+    path = (out_base or default_out("blame", "multitenant")) + ".json"
+    payload = to_blame_payload(blame, crit)
+    ensure_valid(validate_blame(payload), path)
+    write_json_payload(path, payload)
+    victim_mean = sum(latencies) / len(latencies) if latencies else 0.0
+    return {
+        "system": "mantle",
+        "crit": crit,
+        "blame": blame,
+        "telemetry": telemetry,
+        "path": path,
+        "payload": payload,
+        "victim_mean_us": victim_mean,
+        "exemplar_root": _victim_exemplar(crit),
+    }
+
+
+def _victim_exemplar(crit: CritPath):
+    """The victim-tenant op closest to the victim ops' own mean latency
+    (``CritPath.exemplar_root`` picks across all tenants)."""
+    victims = [root for root, _us in crit.root_paths
+               if root.attrs and root.attrs.get("tenant") == "victim"]
+    if not victims:
+        return None
+    mean = sum(r.duration_us for r in victims) / len(victims)
+    return min(victims, key=lambda r: (abs(r.duration_us - mean),
+                                       r.span_id))
+
+
+# ---------------------------------------------------------------------------
+# Tables + entry point.
+# ---------------------------------------------------------------------------
+
+def _tenant_text(tenant: Optional[str]) -> str:
+    return tenant if tenant is not None else "-"
+
+
+def culprit_table(artifact: Dict, top: int) -> Table:
+    blame: BlameMatrix = artifact["blame"]
+    ops = max(blame.ops, 1)
+    table = Table(
+        f"{blame.name}: top culprits ({blame.ops} ops, "
+        f"{blame.total_queue_us / ops:.1f} us/op queued = "
+        f"{blame.queue_share:.1%} of latency)",
+        ["culprit op", "tenant", "resource", "us/op", "queue share"])
+    total = max(blame.total_queue_us, 1e-9)
+    for (c_op, c_ten, res), us in blame.top_culprits(top):
+        table.add_row(c_op, _tenant_text(c_ten), res,
+                      round(us / ops, 2), f"{us / total:.1%}")
+    table.add_note(
+        "every gated queue microsecond is attributed to the occupant "
+        "whose departure admitted the victim (shares sum to 100% of "
+        "queued time); '(unknown)' = unlabelled holder, "
+        "'(batch-window)' = Raft batching config, not another op")
+    return table
+
+
+def tenant_table(artifact: Dict) -> Table:
+    blame: BlameMatrix = artifact["blame"]
+    matrix = blame.tenant_matrix()
+    victims = sorted({v for v, _c in matrix}, key=lambda t: t or "")
+    table = Table(
+        f"{blame.name}: tenant interference (queued us blamed on each "
+        f"culprit tenant)",
+        ["victim tenant", "culprit tenant", "us", "share of victim's "
+         "queueing"])
+    victim_totals: Dict[Optional[str], float] = {}
+    for (v_ten, _c), us in matrix.items():
+        victim_totals[v_ten] = victim_totals.get(v_ten, 0.0) + us
+    for v_ten in victims:
+        denom = max(victim_totals.get(v_ten, 0.0), 1e-9)
+        rows = sorted(((c, us) for (v, c), us in matrix.items()
+                       if v == v_ten), key=lambda cu: (-cu[1], cu[0] or ""))
+        for c_ten, us in rows:
+            table.add_row(_tenant_text(v_ten), _tenant_text(c_ten),
+                          round(us, 1), f"{us / denom:.1%}")
+    table.add_note("cross-tenant rows are interference a placement or "
+                   "rebalancing change could remove; same-tenant rows "
+                   "are self-contention")
+    return table
+
+
+def run_blame(target: str, scale: str = "quick", out_base: str = "",
+              systems: Optional[List[str]] = None,
+              clients: Optional[int] = None,
+              items: Optional[int] = None,
+              top: int = 12) -> Tuple[List[Table], List[str], List[Dict]]:
+    """Analyze ``target``; returns (tables, exemplar lines, artifacts)."""
+    if target == "multitenant":
+        artifacts = [run_multitenant(scale, clients=clients, items=items,
+                                     out_base=out_base)]
+    else:
+        case = resolve_case(target)
+        artifacts = [
+            blame_point(system, target, case, scale, clients=clients,
+                        items=items, out_base=out_base)
+            for system in (systems or list(case.systems))
+        ]
+    tables: List[Table] = []
+    lines: List[str] = []
+    for artifact in artifacts:
+        tables.append(culprit_table(artifact, top))
+        blame: BlameMatrix = artifact["blame"]
+        if len({t for (_v, t), _us in blame.victim_totals().items()}) > 1 \
+                or target == "multitenant":
+            tables.append(tenant_table(artifact))
+        crit: CritPath = artifact["crit"]
+        lines.append(f"exemplar victim path ({blame.name}, wrote "
+                     f"{artifact['path']}):")
+        lines.extend("  " + line for line in render_blame_exemplar(
+            crit, root=artifact.get("exemplar_root")))
+        lines.append("")
+    return tables, lines, artifacts

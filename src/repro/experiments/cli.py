@@ -8,6 +8,9 @@ Usage::
     mantle-exp trace fig15 [--scale quick|full] [--out trace_fig15.json]
     mantle-exp telemetry fig14 [--scale quick|full] [--out telemetry_fig14]
     mantle-exp profile fig12 [--diff mantle infinifs] [--top N]
+    mantle-exp critpath fig14 [--clients N] [--top N]
+    mantle-exp whatif fig14 --speedup tafdb.fsync=2x [--model slack|corrected]
+    mantle-exp blame fig14|multitenant [--clients N] [--top N]
 
 ``run --jobs N`` fans a sweep experiment's per-point simulators across N
 worker processes; ``all --jobs N`` runs whole experiments concurrently.
@@ -26,6 +29,17 @@ hit-ratio timelines, and exports the per-window series as CSV + JSON.
 attribution on, prints per-system top self-time tables, writes
 flamegraph.pl + speedscope exports, and with ``--diff A B`` prints the
 signed per-op cost deltas between two systems with mechanism notes.
+
+``critpath`` extracts what actually gated client latency; ``whatif``
+turns that into validated virtual speedups (predict, rerun with the
+override applied, compare — ``--model corrected`` adds the queueing-aware
+bottleneck-law bound for deep-saturation points, and ``--max-error``
+gates on the selected model, reporting per-model pass/fail on failure).
+
+``blame`` attributes every queue microsecond on victims' critical paths
+to the op type (and tenant) occupying the contended resource — the
+who-delayed-whom matrix; the ``multitenant`` target runs the
+storm-vs-victim noisy-neighbour scenario instead of a figure point.
 """
 
 from __future__ import annotations
@@ -178,14 +192,35 @@ def _cmd_whatif(args) -> int:
     started = time.time()
     tables, result = run_whatif(
         args.experiment, args.speedup, system=args.system,
-        scale=args.scale, clients=args.clients, items=args.items)
+        scale=args.scale, clients=args.clients, items=args.items,
+        model=args.model)
     header = (f"### whatif {args.experiment} (scale={args.scale}, "
               f"{time.time() - started:.1f}s wall)")
     print_tables(tables, header=header)
     if args.max_error is not None and not result.within(args.max_error):
-        print(f"whatif: prediction error {result.error_frac:.1%} exceeds "
-              f"--max-error {args.max_error:.0%}", file=sys.stderr)
+        print(f"whatif: --model {result.model} prediction failed the "
+              f"--max-error {args.max_error:.0%} gate:", file=sys.stderr)
+        for line in result.failure_report(args.max_error):
+            print(line, file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_blame(args) -> int:
+    from repro.experiments.blamecmd import run_blame
+
+    started = time.time()
+    tables, lines, artifacts = run_blame(
+        args.experiment, scale=args.scale, out_base=args.out,
+        systems=args.systems, clients=args.clients, items=args.items,
+        top=args.top)
+    ops = sum(a["blame"].ops for a in artifacts)
+    header = (f"### blame {args.experiment} (scale={args.scale}, "
+              f"{len(artifacts)} runs, {ops} ops folded, "
+              f"{time.time() - started:.1f}s wall)")
+    print_tables(tables, header=header)
+    print()
+    print("\n".join(lines))
     return 0
 
 
@@ -311,13 +346,44 @@ def main(argv=None) -> int:
                                help="exit non-zero if the prediction "
                                     "error exceeds this fraction of the "
                                     "measured delta (e.g. 0.15)")
+    whatif_parser.add_argument("--model", choices=("slack", "corrected"),
+                               default="slack",
+                               help="prediction the --max-error gate "
+                                    "judges: first-order slack, or slack "
+                                    "floored by the queueing bottleneck "
+                                    "law (both are always printed)")
+    blame_parser = sub.add_parser(
+        "blame",
+        help="fold occupant-tagged queue waits into a who-delayed-whom "
+             "interference matrix")
+    blame_parser.add_argument(
+        "experiment",
+        help="figure id (fig12/fig14/fig19), mdtest op (objstat, "
+             "mkdir, ...), or 'multitenant' for the two-namespace "
+             "interference scenario")
+    blame_parser.add_argument("--scale", choices=("quick", "full"),
+                              default="quick")
+    blame_parser.add_argument("--systems", nargs="+", default=None,
+                              metavar="SYSTEM",
+                              help="override the systems to analyze "
+                                   "(ignored for multitenant)")
+    blame_parser.add_argument("--out", metavar="BASE", default="",
+                              help="output base path "
+                                   "(default blame_<experiment>)")
+    blame_parser.add_argument("--clients", type=int, default=None,
+                              help="override the case's client count")
+    blame_parser.add_argument("--items", type=int, default=None,
+                              help="override ops per client")
+    blame_parser.add_argument("--top", type=int, default=12,
+                              help="rows per culprit table")
     from repro.experiments.livecmd import add_live_parser, cmd_live
     add_live_parser(sub)
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "all": _cmd_all,
                 "trace": _cmd_trace, "telemetry": _cmd_telemetry,
                 "profile": _cmd_profile, "critpath": _cmd_critpath,
-                "whatif": _cmd_whatif, "live": cmd_live}
+                "whatif": _cmd_whatif, "blame": _cmd_blame,
+                "live": cmd_live}
     return handlers[args.command](args)
 
 

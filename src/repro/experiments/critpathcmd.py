@@ -45,7 +45,7 @@ from repro.sim.critpath import (
     component_of,
     contrast_with_profile,
     critpath_from_tracer,
-    predict_speedup,
+    predict_speedup_corrected,
     to_critpath_payload,
     validate_critpath,
 )
@@ -174,7 +174,15 @@ def run_critpath(target: str, scale: str = "quick", out_base: str = "",
 
 @dataclasses.dataclass(frozen=True)
 class WhatIfResult:
-    """Predicted-vs-measured outcome of one virtual speedup."""
+    """Predicted-vs-measured outcome of one virtual speedup.
+
+    Two predictions ride along: ``predicted_mean_us`` is the first-order
+    **slack** model (open-loop), ``corrected_mean_us`` the queueing-aware
+    **corrected** model (slack floored by the closed-loop bottleneck law;
+    ``None`` when telemetry was unavailable).  ``model`` selects which
+    one :meth:`error_frac` / :meth:`within` judge — both are always
+    reported so the gap between them is visible.
+    """
 
     system: str
     op: str
@@ -185,37 +193,82 @@ class WhatIfResult:
     baseline_kops: float
     measured_kops: float
     matched_us_per_op: Dict[str, float]
+    model: str = "slack"
+    corrected_mean_us: Optional[float] = None
+    bottleneck_mean_us: float = 0.0
+    bottleneck_station: str = ""
+
+    def _delta_frac(self, mean_us: float) -> float:
+        if self.baseline_mean_us <= 0.0:
+            return 0.0
+        return 1.0 - mean_us / self.baseline_mean_us
+
+    def model_mean_us(self, model: str) -> float:
+        if model == "corrected" and self.corrected_mean_us is not None:
+            return self.corrected_mean_us
+        return self.predicted_mean_us
 
     @property
     def predicted_delta_frac(self) -> float:
-        if self.baseline_mean_us <= 0.0:
-            return 0.0
-        return 1.0 - self.predicted_mean_us / self.baseline_mean_us
+        return self._delta_frac(self.predicted_mean_us)
+
+    @property
+    def corrected_delta_frac(self) -> float:
+        return self._delta_frac(self.model_mean_us("corrected"))
 
     @property
     def measured_delta_frac(self) -> float:
-        if self.baseline_mean_us <= 0.0:
-            return 0.0
-        return 1.0 - self.measured_mean_us / self.baseline_mean_us
+        return self._delta_frac(self.measured_mean_us)
+
+    def model_error_frac(self, model: str) -> float:
+        """|predicted - measured| relative to the measured delta, for one
+        of the two prediction models."""
+        predicted = self._delta_frac(self.model_mean_us(model))
+        measured = abs(self.measured_delta_frac)
+        if measured <= 0.0:
+            return 0.0 if abs(predicted) <= 0.0 else float("inf")
+        return abs(predicted - self.measured_delta_frac) / measured
 
     @property
     def error_frac(self) -> float:
-        """|predicted - measured| relative to the measured delta."""
-        measured = abs(self.measured_delta_frac)
-        if measured <= 0.0:
-            return 0.0 if abs(self.predicted_delta_frac) <= 0.0 \
-                else float("inf")
-        return abs(self.predicted_delta_frac
-                   - self.measured_delta_frac) / measured
+        """Error of the *selected* model (``--model``; default slack)."""
+        return self.model_error_frac(self.model)
 
-    def within(self, max_error: float) -> bool:
-        """Prediction acceptable: relative error inside ``max_error``, or
-        both deltas under the :data:`DELTA_FLOOR_FRAC` floor (a correct
-        "this override buys nothing" prediction)."""
-        if abs(self.predicted_delta_frac) < DELTA_FLOOR_FRAC and \
+    def model_within(self, model: str, max_error: float) -> bool:
+        predicted = self._delta_frac(self.model_mean_us(model))
+        if abs(predicted) < DELTA_FLOOR_FRAC and \
                 abs(self.measured_delta_frac) < DELTA_FLOOR_FRAC:
             return True
-        return self.error_frac <= max_error
+        return self.model_error_frac(model) <= max_error
+
+    def within(self, max_error: float) -> bool:
+        """Selected model acceptable: relative error inside ``max_error``,
+        or both deltas under the :data:`DELTA_FLOOR_FRAC` floor (a correct
+        "this override buys nothing" prediction)."""
+        return self.model_within(self.model, max_error)
+
+    def failure_report(self, max_error: float) -> List[str]:
+        """Per-model pass/fail lines for the ``--max-error`` gate: which
+        bound (slack vs corrected) failed, and by how much."""
+        models = ["slack"]
+        if self.corrected_mean_us is not None:
+            models.append("corrected")
+        lines = []
+        for model in models:
+            err = self.model_error_frac(model)
+            predicted = self._delta_frac(self.model_mean_us(model))
+            err_text = ("inf (predicted a gain where measurement shows "
+                        "none)" if err == float("inf")
+                        else f"{err:.1%} of the measured delta")
+            verdict = ("within" if self.model_within(model, max_error)
+                       else "EXCEEDS")
+            active = " [selected]" if model == self.model else ""
+            lines.append(
+                f"  {model} model{active}: predicted "
+                f"-{predicted:.1%} vs measured "
+                f"-{self.measured_delta_frac:.1%} -> error {err_text}; "
+                f"{verdict} --max-error {max_error:.0%}")
+        return lines
 
 
 def _rerun_with_overrides(system: str, case: Case, overrides: CostOverrides,
@@ -239,20 +292,31 @@ def _rerun_with_overrides(system: str, case: Case, overrides: CostOverrides,
 def run_whatif(target: str, speedups: Sequence[str],
                system: str = "mantle", scale: str = "quick",
                clients: Optional[int] = None,
-               items: Optional[int] = None) -> Tuple[List[Table],
-                                                     WhatIfResult]:
-    """Predict, rerun, compare.  Returns (tables, result)."""
+               items: Optional[int] = None,
+               model: str = "slack") -> Tuple[List[Table], WhatIfResult]:
+    """Predict (both models), rerun, compare.  Returns (tables, result).
+
+    ``model`` ("slack" or "corrected") selects which prediction the
+    ``--max-error`` gate judges; both are always computed and printed.
+    """
     overrides = parse_speedup_args(speedups)
     if not overrides:
         raise ValueError("whatif needs at least one --speedup")
+    if model not in ("slack", "corrected"):
+        raise ValueError(f"unknown whatif model {model!r}; "
+                         "pick slack or corrected")
     case = resolve_case(target)
     clients = clients or pick(scale, *case.clients)
     items = items or pick(scale, *case.items)
 
-    metrics, tracer, _ = mdtest_metrics_profiled(
+    metrics, tracer, telemetry = mdtest_metrics_profiled(
         system, case.op, mode=case.mode, clients=clients, items=items)
     crit = critpath_from_tracer(tracer, name=f"{system} {case.op}")
-    prediction = predict_speedup(crit, overrides)
+    profile = profile_from_tracer(tracer, name=f"{system} {case.op}")
+    corrected = predict_speedup_corrected(crit, overrides, profile,
+                                          telemetry, clients)
+    prediction = corrected.slack
+    bottleneck = corrected.bottleneck()
     measured = _rerun_with_overrides(system, case, overrides,
                                      clients, items)
     result = WhatIfResult(
@@ -262,35 +326,52 @@ def run_whatif(target: str, speedups: Sequence[str],
         measured_mean_us=measured.mean_latency_us(case.op),
         baseline_kops=metrics.throughput_kops(case.op),
         measured_kops=measured.throughput_kops(case.op),
-        matched_us_per_op=prediction.matched_us_per_op)
+        matched_us_per_op=prediction.matched_us_per_op,
+        model=model,
+        corrected_mean_us=corrected.predicted_mean_us,
+        bottleneck_mean_us=corrected.bottleneck_mean_us,
+        bottleneck_station=(f"{bottleneck.host}/{bottleneck.resource}"
+                            if bottleneck is not None else ""))
 
     knobs = ", ".join(f"{component}={factor:g}x"
                       for component, factor in overrides.speedups)
     table = Table(
         f"what-if {knobs} on {target}/{system} ({case.op}, "
-        f"{clients} clients)",
-        ["metric", "baseline", "predicted", "measured"])
+        f"{clients} clients, --model {model})",
+        ["metric", "baseline", "slack model", "corrected", "measured"])
     table.add_row("mean latency (us/op)",
                   round(result.baseline_mean_us, 1),
                   round(result.predicted_mean_us, 1),
+                  round(result.model_mean_us("corrected"), 1),
                   round(result.measured_mean_us, 1))
     table.add_row("latency delta", "-",
                   f"-{result.predicted_delta_frac:.1%}",
+                  f"-{result.corrected_delta_frac:.1%}",
                   f"-{result.measured_delta_frac:.1%}")
     table.add_row("throughput (Kop/s)",
-                  round(result.baseline_kops, 2), "-",
+                  round(result.baseline_kops, 2), "-", "-",
                   round(result.measured_kops, 2))
     for component, us in sorted(result.matched_us_per_op.items()):
         table.add_row(f"gated by {component} (us/op)",
-                      round(us, 1), "-", "-")
-    if result.error_frac == float("inf"):
-        table.add_note("prediction error: predicted a gain where "
-                       "measurement shows none")
-    else:
-        table.add_note(f"prediction error {result.error_frac:.1%} of the "
-                       f"measured delta (first-order slack model; "
-                       f"queueing feedback is what the rerun measures)")
-    table.add_note("predicted = from critical-path slack alone; "
-                   "measured = full rerun with the override applied to "
-                   "the cost model")
+                      round(us, 1), "-", "-", "-")
+    for which in ("slack", "corrected"):
+        err = result.model_error_frac(which)
+        if err == float("inf"):
+            table.add_note(f"{which} model: predicted a gain where "
+                           "measurement shows none")
+        else:
+            table.add_note(f"{which} model error {err:.1%} of the "
+                           "measured delta")
+    if bottleneck is not None:
+        table.add_note(
+            f"bottleneck station {result.bottleneck_station}: "
+            f"{bottleneck.utilization:.0%} utilized, mean queue "
+            f"{bottleneck.mean_queue:.1f}; closed-loop floor "
+            f"{result.bottleneck_mean_us:.1f} us/op "
+            f"({'binding' if corrected.bound_binding else 'not binding'} "
+            f"vs slack)")
+    table.add_note("slack = first-order critical-path model (open-loop); "
+                   "corrected = slack floored by the bottleneck law "
+                   "clients x max per-op demand; measured = full rerun "
+                   "with the override applied to the cost model")
     return [table], result

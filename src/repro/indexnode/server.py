@@ -138,7 +138,12 @@ class IndexNodeService(Server):
             queued = min(total, max(0.0, stats["flush_start"] - start))
             flushed = min(total - queued,
                           max(0.0, stats["flush_end"] - stats["flush_start"]))
-            tracer.charge_blocked("raft.queue", "queue", queued, host)
+            # Occupant tag for the batch-window wait: the op whose batch
+            # held the log fsync when we proposed; with no flush in
+            # progress the wait is the batching config itself.
+            tracer.charge_blocked(
+                "raft.queue", "queue", queued, host, resource="raft",
+                by=stats.get("queued_behind") or ("(batch-window)", None))
             tracer.charge_blocked("raft.flush", "fsync", flushed, host)
             repl = total - queued - flushed
             follower_host = stats.get("follower_host", host)

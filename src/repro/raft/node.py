@@ -109,6 +109,16 @@ class RaftNode:
         #: wait resolves; :meth:`_fail_waiters` clears the rest.  Waiter
         #: events carry ``__slots__``, hence this side table.
         self._commit_stats: Dict[Any, Dict[str, Any]] = {}
+        #: Occupant label of the batch currently holding the leader's log
+        #: fsync (tracer-gated): proposals arriving while a flush is in
+        #: progress queued *behind* that batch's op, and the blame matrix
+        #: names it.  ``None`` outside a flush.
+        self._flushing_label: Optional[Tuple[str, Optional[str]]] = None
+        #: Latest successful AppendReply timing per follower id
+        #: ``{follower_id: (flush_us, apply_us)}`` (instrument-gated):
+        #: feeds the per-replica commit stamps and the replicate-skew
+        #: histogram — the residual the gating-follower split can't see.
+        self._reply_times: Dict[int, Tuple[float, float]] = {}
         self._election_deadline = self._fresh_election_deadline()
         #: Open ``raft.election`` span (tracer-gated): begun when this node
         #: becomes a candidate, closed when the candidacy resolves (won /
@@ -152,8 +162,18 @@ class RaftNode:
         waiter = self.sim.event()
         self._pending.append((command, waiter))
         self.proposals += 1
-        if self.sim.tracer.enabled:
-            self._commit_stats[waiter] = {"proposed": self.sim.now}
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            # ``label``: the proposing op's own identity (propose runs
+            # inline in the proposer's process) — becomes the culprit for
+            # later proposals that queue behind this batch's flush.
+            # ``queued_behind``: whichever batch held the log fsync when
+            # we arrived; None means only the batch window gated us.
+            self._commit_stats[waiter] = {
+                "proposed": self.sim.now,
+                "label": tracer.current_op_label(),
+                "queued_behind": self._flushing_label,
+            }
         self.mailbox.put(_POKE)
         return waiter
 
@@ -407,7 +427,10 @@ class RaftNode:
                 max(self.log.base_index, hint, 0)))
             return
         appended = self.log.merge(msg.prev_index, msg.entries)
-        timed = self.sim.tracer.enabled
+        # Timing piggyback feeds both the tracer's commit-wait split and
+        # the telemetry skew histogram; measuring is pure subtraction, so
+        # either instrument alone turns it on without changing results.
+        timed = self.sim.tracer.enabled or self.sim.telemetry.enabled
         flush_us = apply_us = 0.0
         if appended:
             flush_started = self.sim.now
@@ -435,6 +458,9 @@ class RaftNode:
                 self._match_index.get(msg.follower_id, 0), msg.match_index)
             self._next_index[msg.follower_id] = \
                 self._match_index[msg.follower_id] + 1
+            if self.sim.tracer.enabled or self.sim.telemetry.enabled:
+                self._reply_times[msg.follower_id] = (msg.flush_us,
+                                                      msg.apply_us)
             yield from self._advance_commit(gating=msg)
             # Ship any remaining backlog to this follower.
             if self._next_index[msg.follower_id] <= self.log.last_index:
@@ -466,11 +492,16 @@ class RaftNode:
             span = tracer.begin("raft.flush", self.sim.now, category="raft",
                                 host=self.host.name)
             span.annotate(entries=len(batch))
+            stats = self._commit_stats
+            # While this fsync holds the log, arriving proposals queue
+            # behind the batch's lead op: publish its label as occupant.
+            lead = stats.get(batch[0][1]) if stats else None
+            self._flushing_label = lead.get("label") if lead else None
             flush_start = self.sim.now
             yield from self.host.fsync()
             flush_end = self.sim.now
+            self._flushing_label = None
             tracer.end(span, flush_end)
-            stats = self._commit_stats
             if stats:
                 for _command, waiter in batch:
                     entry_stats = stats.get(waiter)
@@ -539,19 +570,39 @@ class RaftNode:
             if replicated >= self.group.quorum():
                 self.commit_index = candidate
                 break
-        if (gating is not None and self.commit_index > old_commit
-                and self._commit_stats and self.sim.tracer.enabled):
-            follower = self.group.nodes.get(gating.follower_id)
-            follower_host = (follower.host.name if follower is not None
-                             else f"raft-{gating.follower_id}")
-            for index in range(old_commit + 1, self.commit_index + 1):
-                waiter = self._waiters.get(index)
-                stats = (self._commit_stats.get(waiter)
-                         if waiter is not None else None)
-                if stats is not None:
-                    stats["follower_flush_us"] = gating.flush_us
-                    stats["follower_apply_us"] = gating.apply_us
-                    stats["follower_host"] = follower_host
+        if gating is not None and self.commit_index > old_commit:
+            if self._commit_stats and self.sim.tracer.enabled:
+                follower = self.group.nodes.get(gating.follower_id)
+                follower_host = (follower.host.name if follower is not None
+                                 else f"raft-{gating.follower_id}")
+                # Per-replica view: every follower's latest flush/apply,
+                # not just the gating one's, so the replicate remainder's
+                # residual skew is measurable from the stats dict.
+                replicas = {}
+                for fid, (f_us, a_us) in self._reply_times.items():
+                    node = self.group.nodes.get(fid)
+                    name = (node.host.name if node is not None
+                            else f"raft-{fid}")
+                    replicas[name] = (f_us, a_us)
+                for index in range(old_commit + 1, self.commit_index + 1):
+                    waiter = self._waiters.get(index)
+                    stats = (self._commit_stats.get(waiter)
+                             if waiter is not None else None)
+                    if stats is not None:
+                        stats["follower_flush_us"] = gating.flush_us
+                        stats["follower_apply_us"] = gating.apply_us
+                        stats["follower_host"] = follower_host
+                        stats["replica_times"] = replicas
+            telemetry = self.sim.telemetry
+            if telemetry.enabled and self._reply_times:
+                # Residual replica skew: how far the slowest known
+                # follower trails the gating one (flush + apply).  This
+                # is the part of ``raft.replicate`` no piggyback splits.
+                gate = gating.flush_us + gating.apply_us
+                slowest = max(f + a for f, a in self._reply_times.values())
+                telemetry.histogram(
+                    "raft.replicate.skew_us", self.host.name).record(
+                    self.sim._now, max(0.0, slowest - gate))
         yield from self._apply_committed()
 
     def _apply_committed(self):

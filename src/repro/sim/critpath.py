@@ -89,6 +89,10 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from repro.sim.host import COMPONENT_FIELDS, CostOverrides
 from repro.sim.trace import CAT_OP, Span
 
+#: Occupant tag used when a queue segment carries no ``queue_by`` entry
+#: (unlabelled holder, sampled-out root, float-dust residuals).
+UNKNOWN_CULPRIT = ("(unknown)", None)
+
 #: Gating-segment kinds, in display order.  ``queue:*`` refines ``queue``
 #: by the resource waited on; blocked-on edges reuse cpu/fsync/wire/queue.
 SEGMENT_KINDS = ("cpu", "fsync", "wire", "queue:cpu", "queue:disk",
@@ -372,6 +376,205 @@ def critpath_from_tracer(tracer, name: str = "") -> CritPath:
 
 
 # ---------------------------------------------------------------------------
+# Blame: who delayed whom, per queue-kind gating segment.
+# ---------------------------------------------------------------------------
+
+def _queue_resource(frame: str, kind: str) -> Optional[str]:
+    """The occupant-tagged resource behind a queue-kind gating segment,
+    or ``None`` for non-queue segments.  ``queue:<res>`` names it
+    directly; the Raft batch-window blocked edge queues on the leader's
+    log (tagged ``"raft"``); an untagged ``queue`` residual matches no
+    occupant map and falls to the unknown culprit."""
+    if kind.startswith("queue:"):
+        return kind.partition(":")[2]
+    if kind == "queue":
+        return "raft" if frame == "raft.queue" else "other"
+    return None
+
+
+#: One blame cell key: (victim op, victim tenant, culprit op,
+#: culprit tenant, resource, host).
+BlameKey = Tuple[str, Optional[str], str, Optional[str], str,
+                 Optional[str]]
+
+
+class BlameMatrix:
+    """Who-delayed-whom: queue microseconds on victims' critical paths,
+    attributed to the occupant that held (or preceded them at) the
+    contended resource.
+
+    Every queue-kind gating segment of every folded op is distributed
+    over the span's ``queue_by`` occupant tags for that (resource, host)
+    — proportionally, so the matrix total equals the queue-segment total
+    *exactly* (float dust aside); segments with no tags land under
+    :data:`UNKNOWN_CULPRIT`.  ``total_us`` is the all-segments denominator
+    (the folded ops' end-to-end latency), so ``queue_share`` reads as
+    "fraction of client latency spent queueing behind someone".
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.ops = 0
+        self.total_us = 0.0
+        self.total_queue_us = 0.0
+        self.cells: Dict[BlameKey, float] = {}
+
+    @property
+    def blamed_us(self) -> float:
+        return sum(self.cells.values())
+
+    @property
+    def queue_share(self) -> float:
+        """Fraction of end-to-end latency that was queueing."""
+        if self.total_us <= 0.0:
+            return 0.0
+        return self.total_queue_us / self.total_us
+
+    def conservation_error(self) -> float:
+        """Relative |sum(cells) - sum(queue segments)|; float dust only."""
+        return (abs(self.blamed_us - self.total_queue_us)
+                / max(self.total_queue_us, 1e-9))
+
+    def top_culprits(self, n: int = 15) -> List[
+            Tuple[Tuple[str, Optional[str], str], float]]:
+        """(culprit op, culprit tenant, resource) -> us, largest first."""
+        agg: Dict[Tuple[str, Optional[str], str], float] = {}
+        for (_vo, _vt, c_op, c_ten, res, _host), us in self.cells.items():
+            key = (c_op, c_ten, res)
+            agg[key] = agg.get(key, 0.0) + us
+        ranked = sorted(agg.items(),
+                        key=lambda kv: (-kv[1], kv[0][0], kv[0][1] or "",
+                                        kv[0][2]))
+        return ranked[:n]
+
+    def victim_totals(self) -> Dict[Tuple[str, Optional[str]], float]:
+        """(victim op, victim tenant) -> blamed us."""
+        out: Dict[Tuple[str, Optional[str]], float] = {}
+        for (v_op, v_ten, _co, _ct, _res, _host), us in self.cells.items():
+            key = (v_op, v_ten)
+            out[key] = out.get(key, 0.0) + us
+        return out
+
+    def tenant_matrix(self) -> Dict[Tuple[Optional[str], Optional[str]],
+                                    float]:
+        """(victim tenant, culprit tenant) -> us: the interference-share
+        rollup multitenant runs read (None = untenanted work)."""
+        out: Dict[Tuple[Optional[str], Optional[str]], float] = {}
+        for (_vo, v_ten, _co, c_ten, _res, _host), us in self.cells.items():
+            key = (v_ten, c_ten)
+            out[key] = out.get(key, 0.0) + us
+        return out
+
+    def interference_us(self) -> float:
+        """Queue time blamed on a *different* op type or tenant than the
+        victim's own — cross-traffic interference, as opposed to
+        self-contention within one op population."""
+        return sum(
+            us for (v_op, v_ten, c_op, c_ten, _r, _h), us
+            in self.cells.items() if (v_op, v_ten) != (c_op, c_ten))
+
+
+def build_blame(crit: CritPath, name: str = "") -> BlameMatrix:
+    """Fold a :class:`CritPath`'s queue segments into a blame matrix.
+
+    Walks exactly the spans :func:`build_critpath` folded (same children
+    selection, same self-times, same segment decomposition), so the
+    matrix conserves against the profile's ``queue*`` centers by
+    construction — the invariant ``mantle-exp blame`` gates on.
+    """
+    blame = BlameMatrix(name or crit.name)
+    blame.ops = crit.ops
+    blame.total_us = crit.total_us
+    cells = blame.cells
+    self_us = crit._self_us
+    children = crit._children
+    for root, _path_us in crit.root_paths:
+        attrs = root.attrs
+        victim = (root.name, attrs.get("tenant") if attrs else None)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            for host, frame, kind, us in _segments_of(
+                    node, self_us[node.span_id]):
+                resource = _queue_resource(frame, kind)
+                if resource is None or us <= 0.0:
+                    continue
+                blame.total_queue_us += us
+                tags = node.queue_by
+                shares = []
+                if tags:
+                    shares = [((op, tenant), t_us)
+                              for (op, tenant, res, t_host), t_us
+                              in tags.items()
+                              if res == resource and t_host == host
+                              and t_us > 0.0]
+                total = sum(t_us for _c, t_us in shares)
+                if total <= 0.0:
+                    key = victim + UNKNOWN_CULPRIT + (resource, host)
+                    cells[key] = cells.get(key, 0.0) + us
+                    continue
+                for culprit, t_us in shares:
+                    key = victim + culprit + (resource, host)
+                    cells[key] = cells.get(key, 0.0) + us * (t_us / total)
+            stack.extend(children.get(node.span_id, ()))
+    return blame
+
+
+def render_blame_exemplar(crit: CritPath,
+                          root: Optional[Span] = None) -> List[str]:
+    """One victim op's path with each queue segment naming its culprits —
+    the drill-down behind the aggregated matrix."""
+    root = root or crit.exemplar_root()
+    if root is None:
+        return ["(no completed ops traced)"]
+    attrs = root.attrs
+    tenant = attrs.get("tenant") if attrs else None
+    who = f"{root.name}" + (f" [tenant {tenant}]" if tenant else "")
+    lines = [f"{who}  {root.duration_us:.1f}us end-to-end"]
+
+    def culprits_of(span: Span, resource: str,
+                    host: Optional[str]) -> str:
+        tags = span.queue_by
+        if not tags:
+            return "(unknown)"
+        shares = [((op, ten), us) for (op, ten, res, t_host), us
+                  in tags.items()
+                  if res == resource and t_host == host and us > 0.0]
+        total = sum(us for _c, us in shares)
+        if total <= 0.0:
+            return "(unknown)"
+        shares.sort(key=lambda cu: (-cu[1], cu[0][0], cu[0][1] or ""))
+        parts = []
+        for (op, ten), us in shares[:3]:
+            label = op + (f"/{ten}" if ten else "")
+            parts.append(f"{label} {us / total:.0%}")
+        return ", ".join(parts)
+
+    def walk(span: Span, depth: int) -> None:
+        segs = []
+        for host, frame, kind, us in _segments_of(
+                span, crit._self_us.get(span.span_id, 0.0)):
+            resource = _queue_resource(frame, kind)
+            if resource is None or us <= 0.005:
+                continue
+            where = f"@{host}" if host else ""
+            segs.append(f"{kind}{where} {us:.1f}us <- "
+                        f"{culprits_of(span, resource, host)}")
+        if depth and (segs or crit._children.get(span.span_id)):
+            pad = "  " * depth
+            detail = "; ".join(segs) if segs else "-"
+            lines.append(f"{pad}{span.name}  [{detail}]")
+        elif not depth and segs:
+            lines.append(f"  queued: {'; '.join(segs)}")
+        for child in sorted(crit._children.get(span.span_id, ()),
+                            key=lambda s: (s.start_us, s.span_id)):
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return lines
+
+
+# ---------------------------------------------------------------------------
 # Contrast: gating profile vs total-cost profile -> off-path slack.
 # ---------------------------------------------------------------------------
 
@@ -548,6 +751,138 @@ def predict_speedup(crit: CritPath, overrides: CostOverrides,
 
 
 # ---------------------------------------------------------------------------
+# Queueing-aware correction: the closed-loop bottleneck bound.
+# ---------------------------------------------------------------------------
+
+class Station:
+    """One service station (host x cpu|disk) in the bottleneck-law view."""
+
+    __slots__ = ("host", "resource", "demand_us", "scaled_demand_us",
+                 "utilization", "mean_queue")
+
+    def __init__(self, host: str, resource: str, demand_us: float,
+                 scaled_demand_us: float, utilization: float,
+                 mean_queue: float):
+        self.host = host
+        self.resource = resource
+        #: Measured per-op service demand busy_us / (ops * capacity).
+        self.demand_us = demand_us
+        #: Demand after subtracting the overridden components' saved work.
+        self.scaled_demand_us = scaled_demand_us
+        self.utilization = utilization
+        self.mean_queue = mean_queue
+
+
+class CorrectedPrediction:
+    """Slack prediction floored by the closed-loop bottleneck law.
+
+    The first-order slack model shrinks every gated microsecond
+    independently — open-loop, so past the saturation knee it
+    over-predicts (~2x): shrinking one center raises throughput, which
+    refills the bottleneck queue.  But a closed system of ``clients``
+    concurrent requesters cannot respond faster than the bottleneck
+    law allows: with per-op demand ``D_i = busy_us_i / (ops *
+    capacity_i)`` at each station, throughput is capped at ``1 /
+    max(D_i)`` per client slot, i.e. mean latency is floored at
+    ``clients * max(D_i')`` where ``D_i'`` is the demand *after* the
+    override removes its share of service time.  The corrected estimate
+    is simply ``max(slack prediction, bottleneck floor)``: at knee
+    points the floor is slack (the slack model already holds to ~10%),
+    deep in saturation the floor binds and removes the ~2x optimism.
+    """
+
+    __slots__ = ("slack", "clients", "stations", "bottleneck_mean_us")
+
+    def __init__(self, slack: Prediction, clients: int,
+                 stations: List[Station], bottleneck_mean_us: float):
+        self.slack = slack
+        self.clients = clients
+        self.stations = stations
+        self.bottleneck_mean_us = bottleneck_mean_us
+
+    @property
+    def predicted_mean_us(self) -> float:
+        return max(self.slack.predicted_mean_us, self.bottleneck_mean_us)
+
+    @property
+    def bound_binding(self) -> bool:
+        """True when the bottleneck floor (not slack) sets the estimate —
+        i.e. the run is past the knee and the correction is doing work."""
+        return self.bottleneck_mean_us > self.slack.predicted_mean_us
+
+    def bottleneck(self) -> Optional[Station]:
+        """The station with the largest post-override demand."""
+        if not self.stations:
+            return None
+        return max(self.stations,
+                   key=lambda s: (s.scaled_demand_us, s.host, s.resource))
+
+
+#: Busy-time telemetry behind each station resource.
+_STATION_METRICS = (("host.cpu_busy_us", "cpu"),
+                    ("host.disk_busy_us", "disk"))
+
+
+def predict_speedup_corrected(crit: CritPath, overrides: CostOverrides,
+                              profile, telemetry, clients: int,
+                              include_queue: bool = True,
+                              ) -> CorrectedPrediction:
+    """Queueing-aware what-if: slack prediction + bottleneck-law floor.
+
+    ``profile`` is the run's total-cost :class:`~repro.sim.profile.CostProfile`
+    (same charge sites as the ``host.*_busy_us`` telemetry counters, so the
+    component split of busy time is exact); ``telemetry`` supplies measured
+    busy microseconds, capacities and queue depths; ``clients`` is the
+    closed-loop population that drove the run.
+    """
+    slack = predict_speedup(crit, overrides, include_queue=include_queue)
+    factors = overrides.as_dict()
+    ops = max(crit.ops, 1)
+    elapsed = max((root.end_us or 0.0 for root, _us in crit.root_paths),
+                  default=0.0)
+
+    # Busy time each override removes, per station: profile centers are
+    # total attributed cost (on- and off-path), exactly what the busy
+    # counters integrate, so subtracting the overridden components' share
+    # scales the measured demand without re-deriving it from the model.
+    saved: Dict[Tuple[str, str], float] = {}
+    for (host, frame, kind), us in profile.centers.items():
+        if kind == "cpu":
+            resource = "cpu"
+        elif kind == "fsync":
+            resource = "disk"
+        else:
+            continue
+        component = component_of(host, frame, kind, include_queue=False)
+        factor = factors.get(component) if component else None
+        if factor is None or host is None:
+            continue
+        key = (host, resource)
+        saved[key] = saved.get(key, 0.0) + us * (1.0 - 1.0 / factor)
+
+    stations: List[Station] = []
+    for metric, resource in _STATION_METRICS:
+        for host in sorted(telemetry.hosts(metric)):
+            counter = telemetry.find(metric, host)
+            if counter is None or counter.total <= 0.0:
+                continue
+            capacity = counter.capacity if counter.capacity > 0 else 1.0
+            busy = counter.total
+            scaled_busy = max(0.0, busy - saved.get((host, resource), 0.0))
+            gauge = telemetry.find("resource.queued." + resource, host)
+            stations.append(Station(
+                host, resource,
+                demand_us=busy / (ops * capacity),
+                scaled_demand_us=scaled_busy / (ops * capacity),
+                utilization=(busy / (elapsed * capacity)
+                             if elapsed > 0 else 0.0),
+                mean_queue=gauge.mean_over() if gauge is not None else 0.0))
+
+    d_max = max((s.scaled_demand_us for s in stations), default=0.0)
+    return CorrectedPrediction(slack, clients, stations, clients * d_max)
+
+
+# ---------------------------------------------------------------------------
 # JSON export + validator.
 # ---------------------------------------------------------------------------
 
@@ -656,4 +991,118 @@ def validate_critpath(payload: Any) -> List[str]:
                     if not isinstance(value, (int, float)) or value < 0:
                         problems.append(
                             f"contrast[{i}]: bad {field} {value!r}")
+    return problems
+
+
+def to_blame_payload(blame: BlameMatrix, crit: CritPath) -> dict:
+    """Render a blame matrix as JSON (rounded after aggregation, cells
+    sorted), byte-identical across kernels like the critpath payload."""
+    total_queue = blame.total_queue_us
+
+    def cell_row(key: BlameKey, us: float) -> dict:
+        v_op, v_ten, c_op, c_ten, resource, host = key
+        return {"victim_op": v_op, "victim_tenant": v_ten,
+                "culprit_op": c_op, "culprit_tenant": c_ten,
+                "resource": resource, "host": host,
+                "us": round(us, 3),
+                "share": round(us / total_queue, 6) if total_queue > 0
+                else 0.0}
+
+    cells = [cell_row(key, us) for key, us in sorted(
+        blame.cells.items(),
+        key=lambda kv: (-kv[1], kv[0][0], kv[0][1] or "", kv[0][2],
+                        kv[0][3] or "", kv[0][4], kv[0][5] or ""))]
+    culprits = [
+        {"culprit_op": c_op, "culprit_tenant": c_ten, "resource": resource,
+         "us": round(us, 3),
+         "share": round(us / total_queue, 6) if total_queue > 0 else 0.0}
+        for (c_op, c_ten, resource), us in blame.top_culprits(n=10 ** 9)
+    ]
+    tenants = [
+        {"victim_tenant": v_ten, "culprit_tenant": c_ten,
+         "us": round(us, 3)}
+        for (v_ten, c_ten), us in sorted(
+            blame.tenant_matrix().items(),
+            key=lambda kv: (-kv[1], kv[0][0] or "", kv[0][1] or ""))
+    ]
+    return {
+        "name": blame.name,
+        "ops": blame.ops,
+        "total_us": round(blame.total_us, 3),
+        "total_queue_us": round(total_queue, 3),
+        "queue_share": round(blame.queue_share, 6),
+        "interference_us": round(blame.interference_us(), 3),
+        "conservation_error": blame.conservation_error(),
+        "cells": cells,
+        "top_culprits": culprits,
+        "tenant_matrix": tenants,
+        "exemplar": render_blame_exemplar(crit),
+    }
+
+
+def validate_blame(payload: Any) -> List[str]:
+    """Schema-check a blame payload; returns a list of problems.
+
+    Carries the conservation invariant into the export: cell
+    microseconds must sum back to ``total_queue_us`` (to rounding dust —
+    each cell is rounded to 1e-3, so the tolerance scales with the cell
+    count), and no cell or share may exceed the total.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    if not isinstance(payload.get("ops"), int) or payload["ops"] < 0:
+        problems.append("ops must be a non-negative int")
+    for field in ("total_us", "total_queue_us", "queue_share",
+                  "interference_us", "conservation_error"):
+        value = payload.get(field)
+        if not isinstance(value, (int, float)) or value < 0:
+            problems.append(f"{field} must be a non-negative number")
+    cells = payload.get("cells")
+    if not isinstance(cells, list):
+        problems.append("missing cells array")
+        cells = []
+    total_queue = payload.get("total_queue_us") or 0.0
+    cell_sum = 0.0
+    share_sum = 0.0
+    for i, cell in enumerate(cells):
+        where = f"cells[{i}]"
+        if not isinstance(cell, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field in ("victim_op", "culprit_op", "resource"):
+            if not isinstance(cell.get(field), str) or not cell[field]:
+                problems.append(f"{where}: missing {field}")
+        for field in ("victim_tenant", "culprit_tenant", "host"):
+            value = cell.get(field)
+            if value is not None and not isinstance(value, str):
+                problems.append(f"{where}: {field} must be string or null")
+        us = cell.get("us")
+        if not isinstance(us, (int, float)) or us < 0:
+            problems.append(f"{where}: bad us {us!r}")
+        else:
+            cell_sum += us
+            if isinstance(total_queue, (int, float)) and \
+                    us > total_queue * (1 + 1e-6) + 1e-3:
+                problems.append(f"{where}: us {us} exceeds total_queue_us")
+        share = cell.get("share")
+        if not isinstance(share, (int, float)) or not 0 <= share <= 1:
+            problems.append(f"{where}: bad share {share!r}")
+        else:
+            share_sum += share
+    if isinstance(total_queue, (int, float)) and total_queue > 0:
+        dust = 1e-3 * (len(cells) + 1) + total_queue * 1e-6
+        if abs(cell_sum - total_queue) > dust:
+            problems.append(
+                f"cells sum to {cell_sum:.3f}us, not total_queue_us "
+                f"{total_queue:.3f} (tolerance {dust:.3f})")
+        if cells and abs(share_sum - 1.0) > 1e-3:
+            problems.append(f"cell shares sum to {share_sum:.6f}, not 1")
+    for field in ("top_culprits", "tenant_matrix"):
+        if not isinstance(payload.get(field), list):
+            problems.append(f"missing {field} array")
+    exemplar = payload.get("exemplar")
+    if not isinstance(exemplar, list) or \
+            not all(isinstance(line, str) for line in exemplar):
+        problems.append("exemplar must be a list of strings")
     return problems

@@ -197,7 +197,8 @@ class Host:
         if tracer.enabled:
             wait = self.sim._now - req._enqueue_time
             if wait > 0.0:
-                tracer.charge("queue", wait, self.name, resource="cpu")
+                tracer.charge("queue", wait, self.name, resource="cpu",
+                              by=getattr(req, "_blame", None))
         try:
             yield Timeout(self.sim, us)
             self.cpu_busy_us += us
@@ -237,7 +238,8 @@ class Host:
         if tracer.enabled:
             wait = self.sim._now - req._enqueue_time
             if wait > 0.0:
-                tracer.charge("queue", wait, self.name, resource="disk")
+                tracer.charge("queue", wait, self.name, resource="disk",
+                              by=getattr(req, "_blame", None))
 
     def _record_fsync(self, us: float) -> None:
         tracer = self.sim.tracer

@@ -26,9 +26,16 @@ from repro.sim.core import _PENDING, Event, SimulationError, Simulator
 
 
 class Request(Event):
-    """Pending acquisition of a :class:`Resource` slot."""
+    """Pending acquisition of a :class:`Resource` slot.
 
-    __slots__ = ("resource", "_enqueue_time", "_granted")
+    ``_blame`` is the occupant label ``(op, tenant)`` stamped by the
+    contended grant path when tracing is on — who held the slot this
+    request waited for.  Deliberately *not* initialised in ``__init__``
+    (the uncontended fast path never touches it); readers use
+    ``getattr(req, "_blame", None)``, and only under ``tracer.enabled``.
+    """
+
+    __slots__ = ("resource", "_enqueue_time", "_granted", "_blame")
 
     def __init__(self, resource: "Resource"):
         sim = resource.sim
@@ -147,12 +154,20 @@ class Resource:
                 if telemetry.enabled:
                     wait_hist = telemetry.histogram(
                         "resource.wait_us." + self.label, self.host)
+            # Occupant tracking: the releaser *is* the departing occupant
+            # (release runs in the holder's own process), so its op label
+            # is who the granted waiters queued behind.  Pure bookkeeping,
+            # tracer-gated — a disabled run pays one attribute load.
+            tracer = self.sim.tracer
+            blame = tracer.current_op_label() if tracer.enabled else None
             while self._waiting and self._in_use < self.capacity:
                 nxt = self._waiting.popleft()
                 wait = now - nxt._enqueue_time
                 self.total_wait_time += wait
                 if wait_hist is not None:
                     wait_hist.record(now, wait)
+                if blame is not None:
+                    nxt._blame = blame
                 self._grant(nxt)
             if wait_hist is not None:
                 self._sample_queue()

@@ -69,7 +69,7 @@ class Span:
 
     __slots__ = ("span_id", "parent_id", "name", "category", "host",
                  "start_us", "end_us", "attrs", "ok", "dyn_parent_id",
-                 "costs", "queue_res", "blocked")
+                 "costs", "queue_res", "blocked", "queue_by")
 
     def __init__(self, span_id: int, parent_id: int, name: str,
                  category: str, host: Optional[str], start_us: float):
@@ -100,6 +100,15 @@ class Span:
         #: ignores them; the critical-path analyzer consumes them.
         self.blocked: Optional[Dict[Tuple[str, str, Optional[str]],
                                     float]] = None
+        #: (culprit-op, culprit-tenant, resource, host) -> queue
+        #: microseconds, refining :attr:`queue_res` by the *occupant* whose
+        #: departure admitted this span's process to the resource — the
+        #: who-delayed-whom tags the blame matrix folds.  Summed per
+        #: (resource, host) it equals the matching :attr:`queue_res` entry
+        #: exactly (unknown occupants land under ``"(unknown)"``).
+        #: ``None`` until the first occupant-tagged charge.
+        self.queue_by: Optional[Dict[Tuple[str, Optional[str], str,
+                                           Optional[str]], float]] = None
 
     def add_cost(self, kind: str, host: Optional[str], us: float) -> None:
         """Accumulate ``us`` of ``kind`` cost (cpu/fsync/wire/queue)."""
@@ -126,6 +135,15 @@ class Span:
             blocked = self.blocked = {}
         key = (cause, kind, host)
         blocked[key] = blocked.get(key, 0.0) + us
+
+    def add_queue_by(self, op: str, tenant: Optional[str], resource: str,
+                     host: Optional[str], us: float) -> None:
+        """Tag queue time with the occupant (op, tenant) that preceded it."""
+        by = self.queue_by
+        if by is None:
+            by = self.queue_by = {}
+        key = (op, tenant, resource, host)
+        by[key] = by.get(key, 0.0) + us
 
     @property
     def duration_us(self) -> float:
@@ -164,6 +182,7 @@ class _NullSpan:
     costs = None
     queue_res = None
     blocked = None
+    queue_by = None
 
     def annotate(self, **attrs) -> None:
         pass
@@ -177,6 +196,10 @@ class _NullSpan:
 
     def add_blocked(self, cause: str, kind: str, host: Optional[str],
                     us: float) -> None:
+        pass
+
+    def add_queue_by(self, op: str, tenant: Optional[str], resource: str,
+                     host: Optional[str], us: float) -> None:
         pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -247,12 +270,19 @@ class NullTracer:
         pass
 
     def charge(self, kind: str, us: float, host: Optional[str] = None,
-               resource: Optional[str] = None) -> None:
+               resource: Optional[str] = None,
+               by: Optional[Tuple[str, Optional[str]]] = None) -> None:
         pass
 
     def charge_blocked(self, cause: str, kind: str, us: float,
-                       host: Optional[str] = None) -> None:
+                       host: Optional[str] = None,
+                       resource: Optional[str] = None,
+                       by: Optional[Tuple[str, Optional[str]]] = None
+                       ) -> None:
         pass
+
+    def current_op_label(self) -> Optional[Tuple[str, Optional[str]]]:
+        return None
 
     @property
     def unattributed(self) -> Dict[Tuple[Optional[str], str], float]:
@@ -414,7 +444,8 @@ class Tracer:
         self._ring.append(span)
 
     def charge(self, kind: str, us: float, host: Optional[str] = None,
-               resource: Optional[str] = None) -> None:
+               resource: Optional[str] = None,
+               by: Optional[Tuple[str, Optional[str]]] = None) -> None:
         """Attribute ``us`` simulated microseconds of ``kind`` cost.
 
         The charge lands on the innermost open span of the currently
@@ -427,6 +458,13 @@ class Tracer:
         alongside — never instead of — the plain ``queue`` cost, so the
         profiler's totals are unchanged while the critical-path analyzer
         can split queueing by its underlying bottleneck.
+
+        ``by`` optionally names the occupant ``(op, tenant)`` whose
+        departure admitted this process (stamped on the grant by
+        :meth:`~repro.sim.resources.Resource.release`).  Every
+        resource-tagged charge also lands a ``queue_by`` tag — ``by=None``
+        falls back to ``("(unknown)", None)`` — so per (resource, host)
+        the occupant tags decompose ``queue_res`` exactly.
         """
         if us <= 0.0:
             return
@@ -438,13 +476,21 @@ class Tracer:
                 top.add_cost(kind, host, us)
                 if resource is not None:
                     top.add_queue_resource(resource, host, us)
+                    if by is None:
+                        top.add_queue_by("(unknown)", None, resource,
+                                         host, us)
+                    else:
+                        top.add_queue_by(by[0], by[1], resource, host, us)
                 return
         key = (host, kind)
         bucket = self.unattributed
         bucket[key] = bucket.get(key, 0.0) + us
 
     def charge_blocked(self, cause: str, kind: str, us: float,
-                       host: Optional[str] = None) -> None:
+                       host: Optional[str] = None,
+                       resource: Optional[str] = None,
+                       by: Optional[Tuple[str, Optional[str]]] = None
+                       ) -> None:
         """Attribute ``us`` of blocked-on time to the innermost open span.
 
         Blocked-on edges decompose time a span spent waiting for *another
@@ -454,6 +500,11 @@ class Tracer:
         conservation sums — and consumed only by
         :mod:`repro.sim.critpath`.  With no span open the charge is
         dropped: there is no waiting span to explain.
+
+        ``resource`` / ``by`` additionally tag a queue-kind blocked edge
+        with its occupant (the Raft batch-window wait passes
+        ``resource="raft"`` and the label of the batch that was flushing),
+        mirroring :meth:`charge`'s queue_by bookkeeping.
         """
         if us <= 0.0:
             return
@@ -463,6 +514,44 @@ class Tracer:
             top = stack[-1]
             if top is not NULL_SPAN:
                 top.add_blocked(cause, kind, host, us)
+                if resource is not None:
+                    if by is None:
+                        top.add_queue_by("(unknown)", None, resource,
+                                         host, us)
+                    else:
+                        top.add_queue_by(by[0], by[1], resource, host, us)
+
+    def current_op_label(self) -> Optional[Tuple[str, Optional[str]]]:
+        """The ``(op, tenant)`` identity of the currently executing
+        process, for occupant tagging.
+
+        RPC handlers run inline in the calling client's process, so the
+        *first* span on the active process's stack is the operation root
+        for client-driven work (``category == "op"``, carrying the
+        system's tenant annotation).  Spawned 2PC fan-out legs root at
+        their wrapper span instead, which carries the owning op's
+        identity as an ``op_label`` annotation (see
+        ``TafDBClient._fanout_leg``).  Other non-client processes (the
+        Raft event loop, background maintenance) report their root
+        span's name with no tenant.  Returns ``None`` with no open span
+        or under an elided (sampled-out) root — callers then tag
+        ``"(unknown)"``.
+        """
+        proc = self._sim._active_process if self._sim is not None else None
+        stack = self._stacks.get(proc)
+        if not stack:
+            return None
+        root = stack[0]
+        if root is NULL_SPAN:
+            return None
+        attrs = root.attrs
+        if root.category == CAT_OP:
+            return (root.name, attrs.get("tenant") if attrs else None)
+        if attrs:
+            label = attrs.get("op_label")
+            if label is not None:
+                return (label[0], label[1])
+        return (root.name, None)
 
     def reset(self) -> None:
         """Drop every collected span (counters restart too)."""
@@ -507,6 +596,10 @@ def span_to_jsonable(span: Span) -> Dict[str, Any]:
     if span.blocked:
         out["blocked"] = [[cause, kind, host, us]
                           for (cause, kind, host), us in span.blocked.items()]
+    if span.queue_by:
+        out["queue_by"] = [
+            [op, tenant, res, host, us]
+            for (op, tenant, res, host), us in span.queue_by.items()]
     return out
 
 
@@ -526,6 +619,8 @@ def span_from_jsonable(data: Dict[str, Any]) -> Span:
         span.add_queue_resource(res, host, us)
     for cause, kind, host, us in data.get("blocked", ()):
         span.add_blocked(cause, kind, host, us)
+    for op, tenant, res, host, us in data.get("queue_by", ()):
+        span.add_queue_by(op, tenant, res, host, us)
     return span
 
 

@@ -133,7 +133,7 @@ class TafDBClient:
 
     # -- transactions ------------------------------------------------------------------
 
-    def _fanout_leg(self, verb: str, parent, gen):
+    def _fanout_leg(self, verb: str, parent, gen, label=None):
         """Wrap one parallel fan-out RPC so the critical path can see it.
 
         2PC legs run in spawned processes, so their spans are dynamic
@@ -145,11 +145,19 @@ class TafDBClient:
         with the overlapped legs surfacing as off-path cost.  The cost
         profiler ignores the edge — its per-tree conservation needs the
         legs to stay roots.
+
+        ``label`` is the owning op's ``(op, tenant)`` identity, captured
+        by the caller *in the client's process* (here the generator body
+        already runs in the spawned leg process, where the op root is not
+        on the stack); ``Tracer.current_op_label`` reads it back so
+        resource occupancy inside a leg blames the op, not the leg.
         """
         tracer = self.sim.tracer
         span = tracer.begin("fanout:" + verb, self.sim.now,
                             category="txn", parent=parent)
         span.annotate(join_to=parent.span_id)
+        if label is not None:
+            span.annotate(op_label=label)
         try:
             result = yield from gen
         except BaseException:
@@ -225,7 +233,8 @@ class TafDBClient:
         legs = [self._prepare_one(txn_id, sid, by_shard[sid], ctx)
                 for sid in shard_ids]
         if pspan is not None:
-            legs = [self._fanout_leg("prepare", pspan, leg)
+            label = tracer.current_op_label()
+            legs = [self._fanout_leg("prepare", pspan, leg, label)
                     for leg in legs]
         prepares = [self._guarded(leg) for leg in legs]
         outcomes = yield from self.runtime.gather(prepares)
@@ -256,11 +265,12 @@ class TafDBClient:
         else:
             fspan = None
         rounds = []
+        label = tracer.current_op_label() if fspan is not None else None
         for shard_id in shard_ids:
             server = self.servers[self.partitioner.server_of_shard(shard_id)]
             leg = self.runtime.rpc(server, verb, shard_id, txn_id, ctx=ctx)
             if fspan is not None:
-                leg = self._fanout_leg(verb, fspan, leg)
+                leg = self._fanout_leg(verb, fspan, leg, label)
             rounds.append(self._swallow(leg))
         yield from self.runtime.gather(rounds)
         if fspan is not None:

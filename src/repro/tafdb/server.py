@@ -121,7 +121,8 @@ class DBServer(Server):
             wait = self.sim._now - req._enqueue_time
             if wait > 0.0:
                 tracer.charge("queue", wait, self.host.name,
-                              resource="latch")
+                              resource="latch",
+                              by=getattr(req, "_blame", None))
         try:
             yield from self.host.work(
                 self.costs.db_row_read_us + self.costs.db_row_write_us)

@@ -1,0 +1,133 @@
+"""Tests for ``mantle-exp blame`` — interference-blame command surface.
+
+The matrix-construction invariants live in ``tests/sim/test_critpath.py``
+(``TestBuildBlame``); this module covers the command: artifact writing +
+validator wiring on a tiny point, CLI exit codes, and the slow
+acceptance battery — on the fig14 shared-mkdir storm the top culprit
+must be the storming op type itself, the multitenant scenario must blame
+the storm tenant for the majority of the victim's queueing, and the
+JSON exports must be byte-identical across all three simulation kernels
+(occupant tracking is pure bookkeeping).
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.blamecmd import run_blame, run_multitenant
+from repro.experiments.cli import main
+from repro.sim.critpath import validate_blame
+
+#: The fig14 '-s' probe point: past the knee (~24 clients) but small
+#: enough for CI — the same point the whatif knee battery uses.
+_FIG14_SMALL = dict(scale="quick", systems=["mantle"], clients=24)
+
+
+def _kernel_envs():
+    """The three A/B kernel settings: fast (default), legacy, lanes."""
+    return ({"MANTLE_SIM_FAST": "1"}, {"MANTLE_SIM_FAST": "0"},
+            {"MANTLE_SIM_LANES": "1"})
+
+
+def _set_kernel(monkeypatch, env):
+    for key in ("MANTLE_SIM_FAST", "MANTLE_SIM_LANES"):
+        monkeypatch.delenv(key, raising=False)
+    for key, value in env.items():
+        monkeypatch.setenv(key, value)
+
+
+class TestRunBlame:
+    def test_writes_validated_artifact(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        tables, lines, artifacts = run_blame("mkdir", systems=["mantle"],
+                                             clients=6, items=3)
+        assert len(artifacts) == 1
+        artifact = artifacts[0]
+        assert artifact["blame"].conservation_error() <= 1e-6
+        assert artifact["crit"].conservation_error() <= 1e-6
+        payload = json.loads(
+            (tmp_path / "blame_mkdir_mantle.json").read_text())
+        assert validate_blame(payload) == []
+        assert payload == artifact["payload"]
+        assert any("top culprits" in t.title for t in tables)
+        # The exemplar path names a culprit for each queue segment.
+        assert any("<-" in line for line in lines)
+
+    def test_blamed_microseconds_cover_queue_segments(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        _t, _l, artifacts = run_blame("mkdir", systems=["mantle"],
+                                      clients=6, items=3)
+        payload = artifacts[0]["payload"]
+        blamed = sum(cell["us"] for cell in payload["cells"])
+        assert blamed == pytest.approx(payload["total_queue_us"],
+                                       rel=1e-3)
+        assert 0.0 < payload["queue_share"] < 1.0
+
+
+class TestCli:
+    def test_blame_command(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["blame", "mkdir", "--systems", "mantle",
+                     "--clients", "6", "--items", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top culprits" in out
+        assert "exemplar victim path" in out
+        assert (tmp_path / "blame_mkdir_mantle.json").exists()
+
+    def test_blame_rejects_unknown_target(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(ValueError):
+            main(["blame", "warp-drive"])
+
+
+@pytest.mark.slow
+class TestBlameValidation:
+    """The acceptance battery: the storming op type must come out as the
+    top culprit, the multitenant victim's queueing must trace to the
+    storm tenant, and exports must not depend on the kernel."""
+
+    def test_fig14_storm_names_mkdir_as_top_culprit(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        _t, _l, artifacts = run_blame("fig14", **_FIG14_SMALL)
+        blame = artifacts[0]["blame"]
+        assert blame.conservation_error() <= 1e-6
+        (top_op, _tenant, _resource), _us = blame.top_culprits(1)[0]
+        assert top_op == "mkdir"
+
+    def test_fig14_export_byte_identical_across_kernels(self, tmp_path,
+                                                        monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        blobs = set()
+        for env in _kernel_envs():
+            _set_kernel(monkeypatch, env)
+            _t, _l, artifacts = run_blame("fig14", **_FIG14_SMALL)
+            blobs.add((tmp_path / artifacts[0]["path"]).read_bytes())
+        assert len(blobs) == 1
+
+    def test_multitenant_blames_storm_for_victim_queueing(self, tmp_path,
+                                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        artifact = run_multitenant(scale="quick")
+        blame = artifact["blame"]
+        assert blame.conservation_error() <= 1e-6
+        assert validate_blame(artifact["payload"]) == []
+        matrix = blame.tenant_matrix()
+        victim_rows = {culprit: us for (victim, culprit), us
+                       in matrix.items() if victim == "victim"}
+        total = sum(victim_rows.values())
+        assert total > 0.0
+        # The noisy neighbour owns the majority of the victim's queueing.
+        assert victim_rows.get("storm", 0.0) > 0.5 * total
+        assert artifact["victim_mean_us"] > 0.0
+
+    def test_multitenant_export_byte_identical_across_kernels(
+            self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        blobs = set()
+        for env in _kernel_envs():
+            _set_kernel(monkeypatch, env)
+            artifact = run_multitenant(scale="quick")
+            blobs.add((tmp_path / artifact["path"]).read_bytes())
+        assert len(blobs) == 1

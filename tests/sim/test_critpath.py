@@ -21,18 +21,25 @@ import pytest
 
 from repro.experiments.base import mdtest_metrics, mdtest_metrics_profiled
 from repro.sim.critpath import (
+    UNKNOWN_CULPRIT,
     _fold_children,
+    build_blame,
     build_critpath,
     collapse_kind,
     component_of,
     contrast_with_profile,
     critpath_from_tracer,
     predict_speedup,
+    predict_speedup_corrected,
+    render_blame_exemplar,
+    to_blame_payload,
     to_critpath_payload,
+    validate_blame,
     validate_critpath,
 )
 from repro.sim.host import CostOverrides
 from repro.sim.profile import profile_from_tracer
+from repro.sim.telemetry import Telemetry
 from repro.sim.trace import CAT_OP, CAT_PHASE, CAT_RPC, Tracer
 
 
@@ -201,6 +208,132 @@ class TestPredictSpeedup:
         pred = predict_speedup(crit, CostOverrides.of(**{"net.rtt": 4.0}))
         assert pred.gain_us_per_op == 0.0
         assert pred.predicted_mean_us == crit.mean_latency_us
+
+
+class TestBuildBlame:
+    """Occupant-tagged queue segments fold into a conserving blame matrix."""
+
+    def _crit(self):
+        tracer = Tracer()
+        root = tracer.begin("objstat", 0.0, CAT_OP)
+        root.annotate(tenant="victim")
+        # One disk wait split over two occupants (3:1), one untagged
+        # cpu wait, and a real charge that must not be blamed.
+        tracer.charge("queue", 30.0, "tafdb-0", resource="disk",
+                      by=("mkdir", "storm"))
+        tracer.charge("queue", 10.0, "tafdb-0", resource="disk",
+                      by=("objstat", "victim"))
+        tracer.charge("queue", 20.0, "proxy-0", resource="cpu")
+        tracer.charge("cpu", 15.0, "proxy-0")
+        tracer.end(root, 100.0)
+        return build_critpath(tracer.spans, name="blame-unit")
+
+    def test_cells_conserve_queue_segments_exactly(self):
+        blame = build_blame(self._crit())
+        assert blame.ops == 1
+        assert blame.total_queue_us == pytest.approx(60.0)
+        assert blame.conservation_error() <= 1e-9
+        assert blame.queue_share == pytest.approx(0.60)
+        victim = ("objstat", "victim")
+        assert blame.cells[victim + ("mkdir", "storm", "disk", "tafdb-0")] \
+            == pytest.approx(30.0)
+        assert blame.cells[victim + ("objstat", "victim", "disk",
+                                     "tafdb-0")] == pytest.approx(10.0)
+        assert blame.cells[victim + UNKNOWN_CULPRIT + ("cpu", "proxy-0")] \
+            == pytest.approx(20.0)
+
+    def test_rollups(self):
+        blame = build_blame(self._crit())
+        (top, us) = blame.top_culprits(1)[0]
+        assert top == ("mkdir", "storm", "disk")
+        assert us == pytest.approx(30.0)
+        matrix = blame.tenant_matrix()
+        assert matrix[("victim", "storm")] == pytest.approx(30.0)
+        assert matrix[("victim", "victim")] == pytest.approx(10.0)
+        assert matrix[("victim", None)] == pytest.approx(20.0)
+        # Cross-op/tenant blame only: self-contention (10us) excluded.
+        assert blame.interference_us() == pytest.approx(50.0)
+        assert blame.victim_totals()[("objstat", "victim")] \
+            == pytest.approx(60.0)
+
+    def test_exemplar_names_culprits(self):
+        crit = self._crit()
+        lines = render_blame_exemplar(crit)
+        text = "\n".join(lines)
+        assert "objstat [tenant victim]" in text
+        assert "<-" in text
+        assert "mkdir/storm 75%" in text
+
+    def test_blame_payload_round_trip_validates(self):
+        crit = self._crit()
+        payload = to_blame_payload(build_blame(crit), crit)
+        assert validate_blame(payload) == []
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["conservation_error"] <= 1e-9
+
+    def test_validator_flags_broken_payloads(self):
+        assert validate_blame([]) == ["payload is not a JSON object"]
+        crit = self._crit()
+        payload = to_blame_payload(build_blame(crit), crit)
+        payload["cells"][0]["us"] *= 10  # breaks conservation
+        assert any("conserv" in p or "cells" in p
+                   for p in validate_blame(payload))
+        payload = to_blame_payload(build_blame(crit), crit)
+        del payload["cells"]
+        assert any("cells" in p for p in validate_blame(payload))
+
+
+class _FakeProfile:
+    def __init__(self, centers):
+        self.centers = centers
+
+
+class TestPredictSpeedupCorrected:
+    """The bottleneck-law floor: stations from busy counters, demands
+    scaled by the override's saved share, floor = clients x max demand."""
+
+    def _inputs(self):
+        crit = TestPredictSpeedup()._crit()  # 100us op: fsync 40, cpu 40
+        profile = _FakeProfile({
+            ("tafdb-0", "mkdir", "fsync"): 40.0,
+            ("indexnode-0", "mkdir", "cpu"): 40.0,
+        })
+        telemetry = Telemetry()
+        telemetry.counter("host.disk_busy_us", "tafdb-0",
+                          capacity=1.0).total = 40.0
+        telemetry.counter("host.cpu_busy_us", "indexnode-0",
+                          capacity=2.0).total = 60.0
+        overrides = CostOverrides.of(**{"tafdb.fsync": 2.0})
+        return crit, overrides, profile, telemetry
+
+    def test_station_demands_and_saved_share(self):
+        crit, overrides, profile, telemetry = self._inputs()
+        corr = predict_speedup_corrected(crit, overrides, profile,
+                                         telemetry, clients=2)
+        by_key = {(s.host, s.resource): s for s in corr.stations}
+        disk = by_key[("tafdb-0", "disk")]
+        assert disk.demand_us == pytest.approx(40.0)
+        assert disk.scaled_demand_us == pytest.approx(20.0)  # fsync halved
+        assert disk.utilization == pytest.approx(0.40)  # 40us busy / 100us
+        cpu = by_key[("indexnode-0", "cpu")]
+        assert cpu.demand_us == pytest.approx(30.0)  # 60 / (1 op x 2 cores)
+        assert cpu.scaled_demand_us == pytest.approx(30.0)  # untouched
+        assert corr.bottleneck().host == "indexnode-0"
+
+    def test_floor_binds_only_past_the_knee(self):
+        crit, overrides, profile, telemetry = self._inputs()
+        # 2 clients: floor 2 x 30 = 60 < slack's 80 -> slack wins.
+        low = predict_speedup_corrected(crit, overrides, profile,
+                                        telemetry, clients=2)
+        assert low.bottleneck_mean_us == pytest.approx(60.0)
+        assert low.predicted_mean_us == pytest.approx(80.0)
+        assert not low.bound_binding
+        # 5 clients: floor 5 x 30 = 150 > 80 -> the floor binds.
+        high = predict_speedup_corrected(crit, overrides, profile,
+                                         telemetry, clients=5)
+        assert high.bottleneck_mean_us == pytest.approx(150.0)
+        assert high.predicted_mean_us == pytest.approx(150.0)
+        assert high.bound_binding
 
 
 class TestPayloadAndValidator:
