@@ -21,6 +21,7 @@ from repro.ops import OP_NAMES, Op, make_op
 from repro.sim.core import Simulator
 from repro.sim.network import Network
 from repro.sim.stats import OpContext
+from repro.sim.telemetry import OP_LATENCY_DIGEST_PREFIX
 
 #: The mdtest operation names used throughout benchmarks (§6.3).
 #: (Alias of :data:`repro.ops.OP_NAMES`; kept for existing importers.)
@@ -120,10 +121,18 @@ class MetadataSystem:
             if span is not None:
                 ctx.finish = self.sim.now
                 tracer.end(span, self.sim.now, ok=False)
+            telemetry = self.sim.telemetry
+            if telemetry.enabled:
+                telemetry.digest(OP_LATENCY_DIGEST_PREFIX + op.name).record(
+                    self.sim.now, self.sim.now - ctx.start)
             raise
         ctx.finish = self.sim.now
         if span is not None:
             tracer.end(span, self.sim.now)
+        telemetry = self.sim.telemetry
+        if telemetry.enabled:
+            telemetry.digest(OP_LATENCY_DIGEST_PREFIX + op.name).record(
+                self.sim.now, self.sim.now - ctx.start)
         return result
 
     def submit(self, op: str, *args, ctx: Optional[OpContext] = None):

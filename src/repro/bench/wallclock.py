@@ -627,6 +627,42 @@ def measure_telemetry_overhead(clients: int = 24,
     }
 
 
+def measure_digest_overhead(clients: int = 24,
+                            items: int = 8) -> Dict[str, float]:
+    """Wall-clock cost of the tail-observability instrumentation.
+
+    Times the identical mdtest mkdir run uninstrumented and with the full
+    ``mantle-exp triage`` rig attached: windowed per-op latency digests
+    plus a :class:`~repro.sim.trace.TailKeeper`-carrying tracer (and the
+    phase segmentation fold that runs before teardown).  The simulated
+    results are bit-identical either way (pinned by the determinism
+    tests); only wall-clock, the digest population and the kept span
+    count differ.
+    """
+    from repro.experiments.base import (mdtest_metrics,
+                                        mdtest_metrics_triaged)
+    from repro.sim.telemetry import latency_digests
+
+    start = time.perf_counter()
+    mdtest_metrics("mantle", "mkdir", clients=clients, items=items)
+    off_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    _, tracer, telemetry, phases = mdtest_metrics_triaged(
+        "mantle", "mkdir", clients=clients, items=items)
+    on_s = time.perf_counter() - start
+    digests = latency_digests(telemetry)
+    return {
+        "digest_off_s": round(off_s, 4),
+        "digest_on_s": round(on_s, 4),
+        "overhead_ratio": round(on_s / off_s, 3) if off_s else 0.0,
+        "digests": len(digests),
+        "digest_windows": sum(len(d.windows) for _op, d in digests),
+        "kept_spans": tracer.keeper.kept_spans,
+        "phases": len(phases),
+    }
+
+
 def measure_critpath_overhead(clients: int = 24,
                               items: int = 8) -> Dict[str, float]:
     """Wall-clock cost of critical-path extraction on one mdtest run.
@@ -824,6 +860,15 @@ def main(argv=None) -> int:
               f"{profiling_cost['profiling_on_s']:.2f}s, "
               f"{profiling_cost['spans']} spans, "
               f"{profiling_cost['centers']} centers)")
+        digest_cost = measure_digest_overhead()
+        report["digest_overhead"] = digest_cost
+        print(f"digest overhead       "
+              f"{digest_cost['overhead_ratio']:.2f}x wall "
+              f"({digest_cost['digest_off_s']:.2f}s -> "
+              f"{digest_cost['digest_on_s']:.2f}s, "
+              f"{digest_cost['digests']} digests / "
+              f"{digest_cost['digest_windows']} windows, "
+              f"{digest_cost['kept_spans']} tail spans kept)")
         critpath_cost = measure_critpath_overhead()
         report["critpath_overhead"] = critpath_cost
         print(f"critpath overhead     "

@@ -221,6 +221,46 @@ def mdtest_metrics_telemetry(system_name: str, op: str,
         system.shutdown()
 
 
+def mdtest_metrics_triaged(system_name: str, op: str,
+                           mode: str = "exclusive", clients: int = 32,
+                           items: int = 10, depth: int = 10,
+                           cluster_scale: Optional[str] = None,
+                           window_us: Optional[float] = None,
+                           config=None, **build_overrides):
+    """Like :func:`mdtest_metrics_profiled`, but tail-instrumented.
+
+    Attaches a :class:`~repro.sim.trace.Tracer` carrying a
+    :class:`~repro.sim.trace.TailKeeper` (slow/errored op trees survive
+    the ring) plus a windowed :class:`~repro.sim.telemetry.Telemetry`
+    (per-op latency digests recorded by ``perform``), runs the workload,
+    and phase-segments the run *before* teardown (the verdicts need the
+    live system's cost model).  Returns ``(metrics, tracer, telemetry,
+    phases)``.  All instrumentation is pure bookkeeping — the metrics
+    stay bit-identical to an uninstrumented run.
+    """
+    from repro.bench.analyze import segment_run
+    from repro.sim.telemetry import Telemetry
+    from repro.sim.trace import TailKeeper, Tracer
+
+    if config is not None:
+        build_overrides["config"] = config
+    system = build_system(system_name, cluster_scale or "quick",
+                          **build_overrides)
+    tracer = Tracer(keeper=TailKeeper())
+    tracer.bind(system.sim)
+    system.sim.tracer = tracer
+    telemetry = Telemetry(window_us) if window_us else Telemetry()
+    system.sim.telemetry = telemetry
+    try:
+        workload = MdtestWorkload(op, mode=mode, depth=depth, items=items,
+                                  num_clients=clients)
+        metrics = run_workload(system, workload)
+        phases = segment_run(system, metrics, telemetry)
+        return metrics, tracer, telemetry, phases
+    finally:
+        system.shutdown()
+
+
 def app_metrics(system_name: str, workload, data_access: bool = False,
                 cluster_scale: str = "quick",
                 **build_overrides) -> MetricSet:

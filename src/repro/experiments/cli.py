@@ -11,6 +11,7 @@ Usage::
     mantle-exp critpath fig14 [--clients N] [--top N]
     mantle-exp whatif fig14 --speedup tafdb.fsync=2x [--model slack|corrected]
     mantle-exp blame fig14|multitenant [--clients N] [--top N]
+    mantle-exp triage fig14 [--clients N] [--top N]
 
 ``run --jobs N`` fans a sweep experiment's per-point simulators across N
 worker processes; ``all --jobs N`` runs whole experiments concurrently.
@@ -40,6 +41,12 @@ gates on the selected model, reporting per-model pass/fail on failure).
 to the op type (and tenant) occupying the contended resource — the
 who-delayed-whom matrix; the ``multitenant`` target runs the
 storm-vs-victim noisy-neighbour scenario instead of a figure point.
+
+``triage`` reruns a knee point tail-instrumented, change-point-segments
+the run into labeled phases (warmup/steady/burst/saturated/drain), and
+per anomalous phase folds just that phase's tail exemplars through the
+critpath + blame machinery — one sentence per phase saying what gated
+the slow ops and who is to blame, with a schema-validated JSON export.
 """
 
 from __future__ import annotations
@@ -126,6 +133,11 @@ def _cmd_trace(args) -> int:
               f"{len(payload['traceEvents'])} events, "
               f"{time.time() - started:.1f}s wall)")
     print_tables(tables, header=header)
+    for label, stats in sorted(payload.get("traceStats", {}).items()):
+        if stats.get("dropped", 0) > 0:
+            print(f"trace: WARNING: case {label} dropped "
+                  f"{stats['dropped']} of {stats['started']} spans from "
+                  f"the ring — aggregates under-count", file=sys.stderr)
     return 0
 
 
@@ -221,6 +233,29 @@ def _cmd_blame(args) -> int:
     print_tables(tables, header=header)
     print()
     print("\n".join(lines))
+    return 0
+
+
+def _cmd_triage(args) -> int:
+    from repro.experiments.triagecmd import run_triage
+
+    started = time.time()
+    tables, lines, artifacts = run_triage(
+        args.experiment, scale=args.scale, out_base=args.out,
+        systems=args.systems, clients=args.clients, items=args.items,
+        top=args.top)
+    phases = sum(len(a["phases"]) for a in artifacts)
+    header = (f"### triage {args.experiment} (scale={args.scale}, "
+              f"{len(artifacts)} systems, {phases} phases, "
+              f"{time.time() - started:.1f}s wall)")
+    print_tables(tables, header=header)
+    print()
+    print("\n".join(lines))
+    for artifact in artifacts:
+        if artifact["stats"].get("dropped", 0) > 0:
+            print(f"triage: {artifact['system']} dropped "
+                  f"{artifact['stats']['dropped']} spans from the trace "
+                  f"ring (tail exemplars unaffected)", file=sys.stderr)
     return 0
 
 
@@ -376,6 +411,28 @@ def main(argv=None) -> int:
                               help="override ops per client")
     blame_parser.add_argument("--top", type=int, default=12,
                               help="rows per culprit table")
+    triage_parser = sub.add_parser(
+        "triage",
+        help="phase-segment a tail-instrumented run and blame each "
+             "anomalous phase's slow ops")
+    triage_parser.add_argument(
+        "experiment",
+        help="figure id (fig12/fig14/fig19) or mdtest op (objstat, "
+             "mkdir, ...)")
+    triage_parser.add_argument("--scale", choices=("quick", "full"),
+                               default="quick")
+    triage_parser.add_argument("--systems", nargs="+", default=None,
+                               metavar="SYSTEM",
+                               help="override the systems to triage")
+    triage_parser.add_argument("--out", metavar="BASE", default="",
+                               help="output base path "
+                                    "(default triage_<experiment>)")
+    triage_parser.add_argument("--clients", type=int, default=None,
+                               help="override the case's client count")
+    triage_parser.add_argument("--items", type=int, default=None,
+                               help="override ops per client")
+    triage_parser.add_argument("--top", type=int, default=12,
+                               help="rows per gating/blame table")
     from repro.experiments.livecmd import add_live_parser, cmd_live
     add_live_parser(sub)
     args = parser.parse_args(argv)
@@ -383,7 +440,7 @@ def main(argv=None) -> int:
                 "trace": _cmd_trace, "telemetry": _cmd_telemetry,
                 "profile": _cmd_profile, "critpath": _cmd_critpath,
                 "whatif": _cmd_whatif, "blame": _cmd_blame,
-                "live": cmd_live}
+                "triage": _cmd_triage, "live": cmd_live}
     return handlers[args.command](args)
 
 

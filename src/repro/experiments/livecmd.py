@@ -145,7 +145,8 @@ def run_live_smoke(args) -> int:
     from repro.sim.trace import Tracer
 
     total_ops = args.ops
-    instrument = args.trace or args.telemetry
+    want_digests = getattr(args, "digests", False)
+    instrument = args.trace or args.telemetry or want_digests
     started = time.time()
     cluster = _start_cluster(args.in_process, wal_dir=args.wal_dir,
                              instrument=instrument, metrics=args.metrics)
@@ -196,7 +197,7 @@ def run_live_smoke(args) -> int:
                   f"({spans} spans over {len(snapshots)} processes)"
                   if not obs_problems else
                   f"live-smoke: trace INVALID ({len(obs_problems)} problems)")
-        if args.telemetry or args.metrics:
+        if args.telemetry or args.metrics or want_digests:
             from repro.runtime import obs as obs_module
 
             if args.metrics:
@@ -213,6 +214,20 @@ def run_live_smoke(args) -> int:
                         f"{problem}")
             print(f"live-smoke: {len(payloads)} {source} snapshots "
                   "schema-checked")
+            if want_digests:
+                merged = obs_module.merged_digests(payloads)
+                recorded = sum(d.total_count for d in merged.values())
+                if not merged:
+                    obs_problems.append(
+                        "no latency digests in any metrics snapshot "
+                        "(--digests)")
+                elif recorded <= 0:
+                    obs_problems.append(
+                        "merged latency digests recorded zero completions "
+                        "(--digests)")
+                else:
+                    print(f"live-smoke: merged {len(merged)} cluster-wide "
+                          f"digests covering {recorded} completions")
     finally:
         codes = _stop_cluster(cluster)
     elapsed = time.time() - started
@@ -455,6 +470,10 @@ def add_live_parser(sub) -> None:
     smoke.add_argument("--metrics", action="store_true",
                        help="serve per-role metrics HTTP endpoints and "
                             "schema-check what they return")
+    smoke.add_argument("--digests", action="store_true",
+                       help="additionally merge every role's windowed "
+                            "latency digests cluster-wide and fail if "
+                            "none recorded any completions")
 
     trace = live_sub.add_parser(
         "trace", help="traced run -> one merged Chrome-trace JSON export")

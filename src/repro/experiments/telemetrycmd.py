@@ -7,7 +7,8 @@ telemetry attached, then
 * prints the saturation analyzer's verdict per case — bottleneck label,
   the four scores behind it and the hot host,
 * renders terminal timelines: per-host CPU busy-fraction, the index
-  cache hit-ratio and the in-flight RPC level, one sparkline column per
+  cache hit-ratio, the in-flight RPC level and the per-window p99 op
+  latency (from the merged windowed digests), one sparkline column per
   telemetry window of simulated time,
 * prints the primary case's per-op latency digest
   (:func:`repro.bench.report.latency_summary_table`), and
@@ -25,7 +26,11 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
-from repro.bench.analyze import hit_ratio_series, utilization_series
+from repro.bench.analyze import (
+    hit_ratio_series,
+    latency_p99_series,
+    utilization_series,
+)
 from repro.bench.report import Table, latency_summary_table
 from repro.experiments.base import mdtest_metrics_telemetry, pick
 from repro.experiments.exportutil import default_out, ensure_valid
@@ -117,6 +122,10 @@ def timeline_lines(label: str, telemetry, verdict) -> List[str]:
         series = in_flight.series()
         lines.append(_timeline("rpcs in flight",
                                [mean for _, mean, _ in series], False))
+    p99s = latency_p99_series(telemetry)
+    if p99s:
+        lines.append(_timeline("op latency p99 us",
+                               [v for _, v in p99s], False))
     return lines
 
 

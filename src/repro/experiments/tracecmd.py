@@ -21,6 +21,7 @@ from repro.experiments.exportutil import default_out, ensure_valid
 from repro.sim.trace import (
     aggregate_ops,
     category_summary,
+    trace_stats,
     validate_chrome_trace,
     write_chrome_trace,
 )
@@ -110,7 +111,8 @@ def run_trace(experiment: str, scale: str = "quick",
     out_path = out_path or default_out("trace", experiment, ".json")
     tables, artifacts = _run_traced(experiment, scale)
     sections = [(a["label"], a["tracer"].spans) for a in artifacts]
-    payload = write_chrome_trace(out_path, sections)
+    stats = {a["label"]: trace_stats(a["tracer"]) for a in artifacts}
+    payload = write_chrome_trace(out_path, sections, stats=stats)
     ensure_valid(validate_chrome_trace(payload), "exported Chrome trace")
     agreement, worst = agreement_table(artifacts)
     agreement.add_note(
@@ -124,4 +126,10 @@ def run_trace(experiment: str, scale: str = "quick",
     summary.add_note(f"Chrome trace written to {out_path} "
                      f"({len(payload['traceEvents'])} events); open with "
                      "https://ui.perfetto.dev")
+    total_dropped = sum(s["dropped"] for s in stats.values())
+    if total_dropped > 0:
+        summary.add_note(
+            f"!!! WARNING: {total_dropped} spans fell out of the trace "
+            f"ring across cases — the breakdown above under-counts; see "
+            f"the traceStats key in {out_path}")
     return tables + [summary, agreement], payload

@@ -43,6 +43,7 @@ from repro.sim.trace import (
     chrome_trace_events,
     span_from_jsonable,
     span_to_jsonable,
+    trace_stats,
 )
 
 #: Snapshot schema version; bump on incompatible payload changes.
@@ -62,7 +63,9 @@ def snapshot_from_tracer(process: str, tracer, epoch_us: float = 0.0,
                          now_us: float = 0.0,
                          clock: str = "sim") -> Dict[str, Any]:
     """Build a trace snapshot from any tracer (simulated or wall-clock)."""
-    return {
+    spans = tracer.retained_spans() if hasattr(tracer, "retained_spans") \
+        else list(tracer.spans)
+    snapshot = {
         "version": SNAPSHOT_VERSION,
         "process": process,
         "clock": clock,
@@ -72,8 +75,10 @@ def snapshot_from_tracer(process: str, tracer, epoch_us: float = 0.0,
         "started": getattr(tracer, "started", 0),
         "finished": getattr(tracer, "finished", 0),
         "dropped": tracer.dropped,
-        "spans": [span_to_jsonable(span) for span in tracer.spans],
+        "spans": [span_to_jsonable(span) for span in spans],
     }
+    snapshot["trace_stats"] = trace_stats(tracer)
+    return snapshot
 
 
 def trace_snapshot_payload(runtime) -> Dict[str, Any]:
@@ -93,12 +98,8 @@ def metrics_snapshot_payload(runtime) -> Dict[str, Any]:
         "clock": "wallclock",
         "epoch_us": runtime.epoch_us,
         "now_us": runtime.now,
-        "tracing": {
-            "enabled": bool(tracer.enabled),
-            "started": getattr(tracer, "started", 0),
-            "finished": getattr(tracer, "finished", 0),
-            "dropped": tracer.dropped,
-        },
+        "tracing": dict(trace_stats(tracer),
+                        enabled=bool(tracer.enabled)),
         "telemetry": telemetry.export_payload(
             now=runtime.now, extra={"enabled": bool(telemetry.enabled)}),
     }
@@ -141,7 +142,55 @@ def validate_metrics_snapshot(payload: Any) -> List[str]:
             problems.append("telemetry.rows missing")
         else:
             problems.extend(telemetry_module.validate_rows(rows))
+        digests = telemetry.get("digests")
+        if digests is not None:
+            problems.extend(validate_digests(digests))
     return problems
+
+
+def validate_digests(digests: Any) -> List[str]:
+    """Schema-check a telemetry payload's ``digests`` section."""
+    problems: List[str] = []
+    if not isinstance(digests, list):
+        return ["telemetry.digests is not a list"]
+    for i, digest in enumerate(digests):
+        where = f"digests[{i}]"
+        if not isinstance(digest, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(digest.get("metric"), str):
+            problems.append(f"{where}: missing metric name")
+        if not isinstance(digest.get("window_us"), (int, float)):
+            problems.append(f"{where}: missing window_us")
+        for j, window in enumerate(digest.get("windows") or ()):
+            if not isinstance(window, dict) \
+                    or "window_start_us" not in window \
+                    or not isinstance(window.get("buckets"), list):
+                problems.append(f"{where}.windows[{j}]: not a digest window")
+    return problems
+
+
+def merged_digests(metrics_snapshots: Iterable[Dict[str, Any]]
+                   ) -> Dict[Tuple[str, str], Any]:
+    """Merge every process's digests into cluster-wide ones.
+
+    Bucket-count addition is associative and commutative, so the merge is
+    order-independent; snapshots are still folded in sorted process order
+    to keep the per-window float sums (count-weighted means) byte-stable.
+    Returns ``(metric, host) -> merged Digest``.
+    """
+    snaps = sorted(metrics_snapshots, key=lambda s: s.get("process", ""))
+    out: Dict[Tuple[str, str], Any] = {}
+    for snap in snaps:
+        telemetry = snap.get("telemetry") or {}
+        for data in telemetry.get("digests") or ():
+            digest = telemetry_module.digest_from_jsonable(data)
+            key = (digest.name, digest.host or "")
+            if key in out:
+                out[key].merge(digest)
+            else:
+                out[key] = digest
+    return out
 
 
 # ---------------------------------------------------------------------------

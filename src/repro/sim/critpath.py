@@ -84,7 +84,7 @@ hiding.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.host import COMPONENT_FIELDS, CostOverrides
 from repro.sim.trace import CAT_OP, Span
@@ -303,7 +303,9 @@ def _fold_children(kids: List[Span]) -> List[Span]:
 def build_critpath(spans: Iterable[Span], name: str = "",
                    root_category: str = CAT_OP,
                    root_name: Optional[str] = None,
-                   require_ok: bool = True) -> CritPath:
+                   require_ok: bool = True,
+                   root_where: Optional[Callable[[Span], bool]] = None
+                   ) -> CritPath:
     """Extract and aggregate the critical path of every traced op.
 
     Only *successful*, *dynamically rooted* ``op``-category spans are
@@ -317,6 +319,9 @@ def build_critpath(spans: Iterable[Span], name: str = "",
     non-op roots — e.g. ``root_category="raft", root_name="raft.election"``
     decomposes a traced failover's unavailability window instead of client
     ops (lost candidacies are still skipped unless ``require_ok=False``).
+    ``root_where`` filters root spans further — the triage path uses it to
+    fold only the tail exemplars of one phase (the predicate sees the root
+    span; roots it rejects are skipped without counting as failures).
     """
     crit = CritPath(name)
     finished = [s for s in spans if s.end_us is not None]
@@ -350,6 +355,8 @@ def build_critpath(spans: Iterable[Span], name: str = "",
             continue
         if span.dyn_parent_id and span.dyn_parent_id in by_id:
             continue  # op nested under another op's tree: not a root
+        if root_where is not None and not root_where(span):
+            continue
         if require_ok and not span.ok:
             crit.op_failures += 1
             continue

@@ -2,7 +2,7 @@
 
 Where :mod:`repro.sim.trace` answers "where did this one operation's time
 go?", this module answers "what was the whole cluster doing over the run?"
-A :class:`Telemetry` registry holds three instrument kinds, all bucketed
+A :class:`Telemetry` registry holds four instrument kinds, all bucketed
 into fixed windows of simulated microseconds (default 10 ms sim):
 
 * :class:`Counter` — monotonic per-window sums (`fsync` count, cache hits,
@@ -15,6 +15,11 @@ into fixed windows of simulated microseconds (default 10 ms sim):
   exact regardless of how irregularly the value changes.
 * :class:`Histogram` — per-window count/sum/max of point samples (Raft
   batch sizes, apply lag, RPC latency, resource queue waits).
+* :class:`Digest` — a per-window mergeable quantile sketch (log-spaced
+  buckets, DDSketch layout) of point samples, used for per-op-type
+  completion latencies: p50/p99/p999 are recoverable per window, over
+  any window range, or across processes after :meth:`Digest.merge`,
+  with relative error bounded by :data:`DIGEST_ALPHA`.
 
 Mirroring the tracer's on/off design, the disabled registry is a shared
 no-op singleton (:data:`NULL_TELEMETRY`); every instrumentation site
@@ -34,11 +39,33 @@ with ``MANTLE_TELEMETRY=1``, or attach to a live simulator::
 from __future__ import annotations
 
 import json
+import math
 import os
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 #: Default sampling window: 10 ms of simulated time.
 DEFAULT_WINDOW_US = 10_000.0
+
+#: Digest relative-error bound: any quantile estimate ``q̂`` of a true
+#: value ``q`` above :data:`DIGEST_MIN_VALUE_US` satisfies
+#: ``|q̂ - q| <= DIGEST_ALPHA * q`` (the DDSketch guarantee).
+DIGEST_ALPHA = 0.01
+
+#: Values at or below this land in bucket 0 and report exactly this value
+#: (absolute error <= 1 us — under every cost in the model).
+DIGEST_MIN_VALUE_US = 1.0
+
+#: Bucket indices clamp here, so a digest is fixed-size regardless of the
+#: value range: 2047 buckets at alpha=1% span [1us, ~1.5e17us].
+DIGEST_MAX_BUCKET = 2047
+
+_DIGEST_GAMMA = (1.0 + DIGEST_ALPHA) / (1.0 - DIGEST_ALPHA)
+_DIGEST_LOG_GAMMA = math.log(_DIGEST_GAMMA)
+
+#: Per-op-type completion-latency digests are named ``<prefix><op name>``
+#: (``op.latency_us.mkdir``, ...); recorded by ``MetadataSystem.perform``
+#: whenever telemetry is enabled, simulated and live alike.
+OP_LATENCY_DIGEST_PREFIX = "op.latency_us."
 
 #: Column order of every exported row (CSV header / JSON keys).
 EXPORT_COLUMNS = ("metric", "kind", "host", "window_start_us", "value",
@@ -281,7 +308,189 @@ class Histogram:
         return count, total, mx
 
 
-_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+def digest_bucket(value: float) -> int:
+    """Log-spaced bucket index of ``value`` (DDSketch layout).
+
+    Bucket ``i >= 1`` covers ``(gamma^(i-1), gamma^i] * MIN``; bucket 0
+    holds everything at or below :data:`DIGEST_MIN_VALUE_US`.  Pure
+    arithmetic on the recorded float, so bit-identical inputs bucket
+    identically on every kernel.
+    """
+    if value <= DIGEST_MIN_VALUE_US:
+        return 0
+    idx = int(math.ceil(
+        math.log(value / DIGEST_MIN_VALUE_US) / _DIGEST_LOG_GAMMA))
+    return min(max(idx, 1), DIGEST_MAX_BUCKET)
+
+
+def digest_bucket_value(index: int) -> float:
+    """The representative value reported for a bucket.
+
+    ``2 * gamma^i / (gamma + 1)`` is the estimate that makes the relative
+    error symmetric: at most :data:`DIGEST_ALPHA` anywhere in the bucket.
+    """
+    if index <= 0:
+        return DIGEST_MIN_VALUE_US
+    return DIGEST_MIN_VALUE_US * 2.0 * (_DIGEST_GAMMA ** index) \
+        / (_DIGEST_GAMMA + 1.0)
+
+
+def _bucket_quantile(buckets: Dict[int, int], q: float) -> float:
+    """Quantile over one bucket->count map (integer-rank walk)."""
+    n = sum(buckets.values())
+    if n == 0:
+        return 0.0
+    rank = max(0, int(math.ceil(q * n)) - 1)
+    cum = 0
+    for idx in sorted(buckets):
+        cum += buckets[idx]
+        if cum > rank:
+            return digest_bucket_value(idx)
+    return digest_bucket_value(max(buckets))
+
+
+class Digest:
+    """Per-window mergeable quantile sketch of point samples.
+
+    Samples land in log-spaced buckets (:func:`digest_bucket`), so any
+    quantile is recoverable per window — or over any union of windows,
+    or across digests merged from other processes — with relative error
+    at most :data:`DIGEST_ALPHA`.  Merging is bucket-count addition:
+    associative, commutative, and exactly order-independent, which is
+    what makes p50/p99/p999 timelines export byte-identically however
+    the windows were accumulated.
+    """
+
+    kind = "digest"
+
+    __slots__ = ("name", "host", "capacity", "window_us", "windows",
+                 "total_count", "total_sum", "max_value")
+
+    def __init__(self, name: str, host: Optional[str], window_us: float,
+                 capacity: float = 0.0):
+        self.name = name
+        self.host = host
+        self.capacity = capacity
+        self.window_us = window_us
+        #: window index -> [bucket->count map, count, sum, max].
+        self.windows: Dict[int, List[Any]] = {}
+        self.total_count = 0
+        self.total_sum = 0.0
+        self.max_value = 0.0
+
+    def record(self, now: float, value: float) -> None:
+        idx = int(now // self.window_us)
+        cell = self.windows.get(idx)
+        if cell is None:
+            cell = self.windows[idx] = [{}, 0, 0.0, 0.0]
+        buckets = cell[0]
+        b = digest_bucket(value)
+        buckets[b] = buckets.get(b, 0) + 1
+        cell[1] += 1
+        cell[2] += value
+        if value > cell[3]:
+            cell[3] = value
+        self.total_count += 1
+        self.total_sum += value
+        if value > self.max_value:
+            self.max_value = value
+
+    def merge(self, other: "Digest") -> None:
+        """Fold another digest's windows into this one (bucket addition)."""
+        for idx, (buckets, count, total, mx) in other.windows.items():
+            cell = self.windows.get(idx)
+            if cell is None:
+                cell = self.windows[idx] = [{}, 0, 0.0, 0.0]
+            mine = cell[0]
+            for b, c in buckets.items():
+                mine[b] = mine.get(b, 0) + c
+            cell[1] += count
+            cell[2] += total
+            if mx > cell[3]:
+                cell[3] = mx
+        self.total_count += other.total_count
+        self.total_sum += other.total_sum
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
+
+    def quantile(self, q: float, lo: Optional[float] = None,
+                 hi: Optional[float] = None) -> float:
+        """Quantile over windows intersecting ``[lo, hi)`` (whole run if
+        None), within :data:`DIGEST_ALPHA` of the true sample quantile."""
+        w = self.window_us
+        merged: Dict[int, int] = {}
+        for idx, (buckets, _c, _s, _m) in self.windows.items():
+            start = idx * w
+            if (lo is None or start + w > lo) and (hi is None or start < hi):
+                for b, c in buckets.items():
+                    merged[b] = merged.get(b, 0) + c
+        return _bucket_quantile(merged, q)
+
+    def count_over(self, lo: Optional[float] = None,
+                   hi: Optional[float] = None) -> int:
+        """Sample count over windows intersecting ``[lo, hi)``."""
+        if lo is None and hi is None:
+            return self.total_count
+        w = self.window_us
+        count = 0
+        for idx, (_b, c, _s, _m) in self.windows.items():
+            start = idx * w
+            if (lo is None or start + w > lo) and (hi is None or start < hi):
+                count += c
+        return count
+
+    def series(self, q: float = 0.99) -> List[Tuple[float, float, int]]:
+        """``[(window_start_us, per-window quantile, count)]``."""
+        w = self.window_us
+        return [(idx * w, _bucket_quantile(self.windows[idx][0], q),
+                 int(self.windows[idx][1]))
+                for idx in sorted(self.windows)]
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Wire form for cross-process aggregation (obs snapshots)."""
+        return {
+            "metric": self.name,
+            "host": self.host or "",
+            "window_us": self.window_us,
+            "alpha": DIGEST_ALPHA,
+            "min_value_us": DIGEST_MIN_VALUE_US,
+            "windows": [
+                {"window_start_us": idx * self.window_us,
+                 "count": int(cell[1]), "sum": cell[2], "max": cell[3],
+                 "buckets": [[b, cell[0][b]] for b in sorted(cell[0])]}
+                for idx, cell in sorted(self.windows.items())],
+        }
+
+
+def digest_from_jsonable(data: Dict[str, Any]) -> Digest:
+    """Rebuild a :class:`Digest` from :meth:`Digest.to_jsonable` output."""
+    digest = Digest(data["metric"], data.get("host") or None,
+                    float(data["window_us"]))
+    for window in data.get("windows", ()):
+        idx = int(float(window["window_start_us"]) // digest.window_us)
+        buckets = {int(b): int(c) for b, c in window.get("buckets", ())}
+        count = int(window.get("count", 0))
+        total = float(window.get("sum", 0.0))
+        mx = float(window.get("max", 0.0))
+        digest.windows[idx] = [buckets, count, total, mx]
+        digest.total_count += count
+        digest.total_sum += total
+        if mx > digest.max_value:
+            digest.max_value = mx
+    return digest
+
+
+def latency_digests(telemetry) -> List[Tuple[str, Digest]]:
+    """``[(op name, digest)]`` for every per-op completion-latency digest
+    in the registry, sorted by op name (works on any registry object)."""
+    prefix = OP_LATENCY_DIGEST_PREFIX
+    return [(inst.name[len(prefix):], inst)
+            for inst in telemetry.instruments()
+            if inst.kind == "digest" and inst.name.startswith(prefix)]
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram,
+          "digest": Digest}
 
 
 class Telemetry:
@@ -321,6 +530,10 @@ class Telemetry:
     def histogram(self, name: str, host: Optional[str] = None,
                   capacity: float = 0.0) -> Histogram:
         return self._get("histogram", name, host, capacity)
+
+    def digest(self, name: str, host: Optional[str] = None,
+               capacity: float = 0.0) -> Digest:
+        return self._get("digest", name, host, capacity)
 
     # -- read side ---------------------------------------------------------
 
@@ -372,6 +585,11 @@ class Telemetry:
                 triples = [(idx * w, (c[0] / c[1]) if c[1] > 0 else 0.0,
                             c[1], c[2])
                            for idx, c in sorted(inst.windows.items())]
+            elif inst.kind == "digest":
+                w = inst.window_us
+                triples = [(idx * w, _bucket_quantile(c[0], 0.99),
+                            float(c[1]), c[3])
+                           for idx, c in sorted(inst.windows.items())]
             else:
                 w = inst.window_us
                 triples = [(idx * w, (c[1] / c[0]) if c[0] else 0.0,
@@ -410,6 +628,10 @@ class Telemetry:
         """
         payload: Dict[str, Any] = {"window_us": self.window_us,
                                    "rows": self.export_rows(now)}
+        digests = [inst.to_jsonable() for inst in self.instruments()
+                   if inst.kind == "digest"]
+        if digests:
+            payload["digests"] = digests
         if extra:
             payload.update(extra)
         return payload
@@ -524,6 +746,9 @@ class NullTelemetry:
         return NULL_INSTRUMENT
 
     def histogram(self, name, host=None, capacity=0.0):
+        return NULL_INSTRUMENT
+
+    def digest(self, name, host=None, capacity=0.0):
         return NULL_INSTRUMENT
 
     def instruments(self):

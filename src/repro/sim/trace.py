@@ -24,6 +24,15 @@ Design constraints, in order of importance:
 * **Bounded overhead when on** — finished spans land in a fixed-size ring
   buffer (oldest spans fall out) and root spans can be sampled 1-in-N;
   children of unsampled roots are elided entirely.
+* **Tail retention** — the ring plus uniform sampling keep a *uniform*
+  slice, so the p999 stragglers that define SLOs are exactly the spans
+  that fall out first.  A :class:`TailKeeper` attached to the tracer
+  additionally retains the full span tree of any root op that errored or
+  whose duration clears a per-op-type adaptive threshold (a quantile of
+  the op's own duration digest), under a bounded span budget with whole-
+  tree eviction — so slow-op exemplars survive ring pressure.  The keep
+  decision depends only on simulated durations, so it is deterministic
+  across kernels.
 
 Enable tracing with ``MANTLE_TRACE=1`` (every :class:`~repro.sim.core.Simulator`
 constructed in the process gets a live tracer), ``MantleConfig(tracing=True)``
@@ -247,6 +256,7 @@ class NullTracer:
 
     __slots__ = ()
     enabled = False
+    keeper = None
 
     @property
     def spans(self) -> Sequence[Span]:
@@ -255,6 +265,9 @@ class NullTracer:
     @property
     def dropped(self) -> int:
         return 0
+
+    def retained_spans(self):
+        return []
 
     def begin(self, name: str, now: float, category: str = "",
               parent: Any = None, host: Optional[str] = None):
@@ -299,6 +312,132 @@ NULL_TRACER = NullTracer()
 #: quick-scale workloads produce, small enough to bound long soak runs.
 DEFAULT_MAX_SPANS = 262_144
 
+#: Default tail-keeper budget: whole trees are evicted (oldest first) once
+#: the retained spans exceed this.
+DEFAULT_KEEP_BUDGET_SPANS = 65_536
+
+#: Adaptive keep threshold: retain roots above this duration quantile of
+#: their own op type (p99 — one kept exemplar per ~100 ops at steady state).
+DEFAULT_KEEP_QUANTILE = 0.99
+
+#: Adaptive thresholds need this many samples of an op type before they
+#: engage; below it every root of that type is kept (budget-bounded).
+DEFAULT_KEEP_MIN_SAMPLES = 64
+
+
+class TailKeeper:
+    """Keep policy retaining whole span trees for tail/error exemplars.
+
+    Attach via ``Tracer(keeper=TailKeeper(...))``.  For every finished
+    root the keeper decides: keep the tree if the root errored, or if its
+    duration reaches the op type's threshold — ``threshold_us`` when
+    fixed, else the :data:`DEFAULT_KEEP_QUANTILE` of the op's own
+    duration sketch (same log-spaced buckets as
+    :class:`~repro.sim.telemetry.Digest`, so the threshold inherits the
+    digest's error bound).  Until an op type has
+    ``min_samples`` observations its roots are all kept — early stragglers
+    are exactly the ones worth keeping, and the span ``budget`` bounds
+    memory either way: once exceeded, the oldest kept trees are evicted
+    whole (``evicted_roots`` counts them).
+
+    Decisions read only simulated durations and integer counts, never the
+    wall clock or an RNG — identical traffic keeps identical trees on
+    every kernel.
+    """
+
+    __slots__ = ("quantile", "threshold_us", "min_samples", "budget",
+                 "kept_roots", "kept_errors", "evicted_roots", "_trees",
+                 "_span_count", "_buckets", "_counts")
+
+    def __init__(self, quantile: float = DEFAULT_KEEP_QUANTILE,
+                 threshold_us: Optional[float] = None,
+                 min_samples: int = DEFAULT_KEEP_MIN_SAMPLES,
+                 budget: int = DEFAULT_KEEP_BUDGET_SPANS):
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("keep quantile must be in (0, 1)")
+        if budget < 1:
+            raise ValueError("keep budget must be >= 1")
+        self.quantile = quantile
+        self.threshold_us = threshold_us
+        self.min_samples = min_samples
+        self.budget = budget
+        #: roots kept so far (monotonic; eviction does not decrement).
+        self.kept_roots = 0
+        #: roots kept because they errored.
+        self.kept_errors = 0
+        #: kept trees evicted whole to stay under budget.
+        self.evicted_roots = 0
+        #: root span_id -> that root's full finished tree (insertion-ordered
+        #: by root finish time, which is what eviction walks).
+        self._trees: Dict[int, List[Span]] = {}
+        self._span_count = 0
+        #: op name -> duration sketch (digest buckets) feeding thresholds.
+        self._buckets: Dict[str, Dict[int, int]] = {}
+        self._counts: Dict[str, int] = {}
+
+    def op_threshold_us(self, op: str) -> Optional[float]:
+        """Current keep threshold for an op type; ``None`` = keep all
+        (threshold still warming up)."""
+        if self.threshold_us is not None:
+            return self.threshold_us
+        if self._counts.get(op, 0) < self.min_samples:
+            return None
+        from repro.sim import telemetry as _telemetry
+
+        return _telemetry._bucket_quantile(self._buckets[op], self.quantile)
+
+    def offer(self, root: Span, tree: List[Span]) -> bool:
+        """Decide on one finished root's tree; returns True when kept."""
+        threshold = self.op_threshold_us(root.name)
+        keep = (not root.ok) or threshold is None \
+            or root.duration_us >= threshold
+        if self.threshold_us is None:
+            from repro.sim import telemetry as _telemetry
+
+            buckets = self._buckets.get(root.name)
+            if buckets is None:
+                buckets = self._buckets[root.name] = {}
+            b = _telemetry.digest_bucket(root.duration_us)
+            buckets[b] = buckets.get(b, 0) + 1
+            self._counts[root.name] = self._counts.get(root.name, 0) + 1
+        if not keep:
+            return False
+        self.kept_roots += 1
+        if not root.ok:
+            self.kept_errors += 1
+        self._trees[root.span_id] = tree
+        self._span_count += len(tree)
+        while self._span_count > self.budget and len(self._trees) > 1:
+            oldest = next(iter(self._trees))
+            self._span_count -= len(self._trees.pop(oldest))
+            self.evicted_roots += 1
+        return True
+
+    @property
+    def kept_spans(self) -> int:
+        """Spans currently retained across all kept trees."""
+        return self._span_count
+
+    def trees(self) -> List[List[Span]]:
+        """Kept trees, oldest root first."""
+        return list(self._trees.values())
+
+    def spans(self) -> List[Span]:
+        """Every retained span, flattened (tree order, root last)."""
+        out: List[Span] = []
+        for tree in self._trees.values():
+            out.extend(tree)
+        return out
+
+    def reset(self) -> None:
+        self.kept_roots = 0
+        self.kept_errors = 0
+        self.evicted_roots = 0
+        self._trees.clear()
+        self._span_count = 0
+        self._buckets.clear()
+        self._counts.clear()
+
 
 class Tracer:
     """Collects finished spans into a bounded ring buffer.
@@ -312,15 +451,20 @@ class Tracer:
         Root-span sampling: keep 1 in N root spans (default 1 = keep all).
         Children of an unsampled root are elided at creation, so sampling
         bounds tracing overhead for large workloads.
+    keeper:
+        Optional :class:`TailKeeper`; finished trees of slow or failed
+        (sampled-in) roots are retained beyond the ring under its budget.
     """
 
     __slots__ = ("_ring", "_next_id", "_roots_seen", "_sample_every",
-                 "started", "finished", "_sim", "_stacks", "unattributed")
+                 "started", "finished", "_sim", "_stacks", "unattributed",
+                 "keeper", "_root_of", "_live_trees")
 
     enabled = True
 
     def __init__(self, max_spans: int = DEFAULT_MAX_SPANS,
-                 sample_every: int = 1):
+                 sample_every: int = 1,
+                 keeper: Optional[TailKeeper] = None):
         if max_spans < 1:
             raise ValueError("max_spans must be >= 1")
         if sample_every < 1:
@@ -329,6 +473,12 @@ class Tracer:
         self._next_id = 0
         self._roots_seen = 0
         self._sample_every = sample_every
+        self.keeper = keeper
+        #: span_id -> its tree root's span_id (tail-keep bookkeeping; only
+        #: populated while a keeper is attached).
+        self._root_of: Dict[int, int] = {}
+        #: root span_id -> finished spans of its still-open tree.
+        self._live_trees: Dict[int, List[Span]] = {}
         self.started = 0
         self.finished = 0
         # Cost attribution.  ``_stacks`` maps the simulator's currently
@@ -407,6 +557,16 @@ class Tracer:
             if remote is not None:
                 span.annotate(remote_parent_proc=remote.proc,
                               remote_parent_span=remote.span_id)
+            if self.keeper is not None:
+                # Tree membership follows the opening process's stack: its
+                # bottom span is this process's tree root (the op root for
+                # client work, the fan-out wrapper for spawned legs).
+                bottom = stack[0] if stack else None
+                if bottom is not None and bottom is not NULL_SPAN:
+                    self._root_of[span.span_id] = self._root_of.get(
+                        bottom.span_id, bottom.span_id)
+                else:
+                    self._root_of[span.span_id] = span.span_id
         if stack is None:
             self._stacks[proc] = [span]
         else:
@@ -442,6 +602,16 @@ class Tracer:
         span.ok = ok
         self.finished += 1
         self._ring.append(span)
+        if self.keeper is not None:
+            root_id = self._root_of.pop(span.span_id, span.span_id)
+            tree = self._live_trees.get(root_id)
+            if tree is None:
+                tree = self._live_trees[root_id] = []
+            tree.append(span)
+            if span.span_id == root_id:
+                del self._live_trees[root_id]
+                if span.category == CAT_OP:
+                    self.keeper.offer(span, tree)
 
     def charge(self, kind: str, us: float, host: Optional[str] = None,
                resource: Optional[str] = None,
@@ -553,6 +723,23 @@ class Tracer:
                 return (label[0], label[1])
         return (root.name, None)
 
+    def retained_spans(self) -> List[Span]:
+        """Every span still held: the ring plus kept tail trees, deduped
+        and ordered by span id (creation order, deterministic)."""
+        if self.keeper is None:
+            return list(self._ring)
+        seen = set()
+        out: List[Span] = []
+        for span in self._ring:
+            seen.add(span.span_id)
+            out.append(span)
+        for span in self.keeper.spans():
+            if span.span_id not in seen:
+                seen.add(span.span_id)
+                out.append(span)
+        out.sort(key=lambda s: s.span_id)
+        return out
+
     def reset(self) -> None:
         """Drop every collected span (counters restart too)."""
         self._ring.clear()
@@ -562,6 +749,27 @@ class Tracer:
         self.finished = 0
         self._stacks.clear()
         self.unattributed.clear()
+        self._root_of.clear()
+        self._live_trees.clear()
+        if self.keeper is not None:
+            self.keeper.reset()
+
+
+def trace_stats(tracer) -> Dict[str, int]:
+    """Sample/keep/drop accounting for one tracer, embedded in every trace
+    export so consumers can tell how complete the span population is."""
+    keeper = getattr(tracer, "keeper", None)
+    return {
+        "started": getattr(tracer, "started", 0),
+        "finished": getattr(tracer, "finished", 0),
+        "dropped": tracer.dropped,
+        "sample_every": getattr(tracer, "sample_every", 1),
+        "kept_roots": keeper.kept_roots if keeper is not None else 0,
+        "kept_errors": keeper.kept_errors if keeper is not None else 0,
+        "kept_spans": keeper.kept_spans if keeper is not None else 0,
+        "kept_evicted_roots":
+            keeper.evicted_roots if keeper is not None else 0,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -770,18 +978,32 @@ def chrome_trace_events(spans: Iterable[Span], pid: int = 1,
     return events
 
 
-def export_chrome_trace(sections: Sequence[Tuple[str, Iterable[Span]]]) -> dict:
-    """Build one Chrome-trace payload; each section is its own pid track."""
+def export_chrome_trace(sections: Sequence[Tuple[str, Iterable[Span]]],
+                        stats: Optional[Dict[str, Dict[str, int]]] = None,
+                        ) -> dict:
+    """Build one Chrome-trace payload; each section is its own pid track.
+
+    ``stats`` (per-section :func:`trace_stats` dicts) rides along as a
+    ``traceStats`` top-level key — Perfetto ignores unknown keys, and the
+    sample/keep/drop accounting must survive into every export so nobody
+    mistakes a ring-truncated trace for a complete one.
+    """
     events: List[dict] = []
     for pid, (name, spans) in enumerate(sections, start=1):
         events.extend(chrome_trace_events(spans, pid=pid, process_name=name))
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if stats is not None:
+        payload["traceStats"] = {name: dict(stats[name])
+                                 for name in sorted(stats)}
+    return payload
 
 
 def write_chrome_trace(path: str,
-                       sections: Sequence[Tuple[str, Iterable[Span]]]) -> dict:
+                       sections: Sequence[Tuple[str, Iterable[Span]]],
+                       stats: Optional[Dict[str, Dict[str, int]]] = None,
+                       ) -> dict:
     """Export ``sections`` to ``path`` as Chrome-trace JSON; returns payload."""
-    payload = export_chrome_trace(sections)
+    payload = export_chrome_trace(sections, stats=stats)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=1)
         handle.write("\n")

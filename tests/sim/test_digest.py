@@ -1,0 +1,163 @@
+"""Windowed latency digests: error bounds, merge algebra, wire roundtrip.
+
+The :class:`~repro.sim.telemetry.Digest` is the substrate under the p99
+timelines, the tail-keeper's adaptive thresholds and the per-phase p99s
+in triage exports, so its two contracts are pinned here directly:
+
+* any quantile is within :data:`~repro.sim.telemetry.DIGEST_ALPHA`
+  relative error of the true sample quantile at the same integer rank,
+* merging is bucket-count addition — associative, commutative, and
+  exactly order-independent — so cross-process aggregation cannot move
+  a byte of the export.
+"""
+
+import math
+
+import pytest
+
+from repro.sim.telemetry import (
+    DIGEST_ALPHA,
+    DIGEST_MAX_BUCKET,
+    DIGEST_MIN_VALUE_US,
+    Digest,
+    _bucket_quantile,
+    digest_bucket,
+    digest_bucket_value,
+    digest_from_jsonable,
+)
+
+
+def _digest(window_us: float = 1_000.0) -> Digest:
+    return Digest("op.latency.test", None, window_us)
+
+
+def _samples(n: int = 3000, seed: int = 7) -> list:
+    """Deterministic pseudo-random values spanning four decades."""
+    values = []
+    state = seed
+    for _ in range(n):
+        state = (state * 9301 + 49297) % 233280
+        # Log-uniform over [1, 10^4] us so every decade gets samples.
+        values.append(10.0 ** (4.0 * state / 233280.0))
+    return values
+
+
+class TestDigestErrorBound:
+    def test_bucket_representative_within_alpha_everywhere(self):
+        # The representative value must be within alpha of ANY value in
+        # its bucket, not just the recorded one.
+        for value in (1.001, 2.5, 37.0, 999.9, 123456.0, 9.9e6):
+            rep = digest_bucket_value(digest_bucket(value))
+            assert abs(rep - value) / value <= DIGEST_ALPHA + 1e-9
+
+    def test_quantiles_within_alpha_of_true_sample_quantile(self):
+        digest = _digest()
+        values = _samples()
+        for i, value in enumerate(values):
+            digest.record(float(i), value)
+        ordered = sorted(values)
+        for q in (0.10, 0.50, 0.90, 0.99, 0.999):
+            # Same integer-rank convention as _bucket_quantile.
+            rank = max(0, int(math.ceil(q * len(ordered))) - 1)
+            true = ordered[rank]
+            estimate = digest.quantile(q)
+            assert abs(estimate - true) / true <= DIGEST_ALPHA + 1e-9, (
+                f"q={q}: {estimate} vs true {true}")
+
+    def test_windowed_quantile_covers_only_selected_windows(self):
+        digest = _digest(window_us=100.0)
+        for i in range(100):
+            digest.record(float(i), 10.0)        # window 0
+        for i in range(100):
+            digest.record(100.0 + i, 1_000.0)    # window 1
+        early = digest.quantile(0.99, lo=0.0, hi=100.0)
+        late = digest.quantile(0.99, lo=100.0, hi=200.0)
+        assert abs(early - 10.0) / 10.0 <= DIGEST_ALPHA
+        assert abs(late - 1_000.0) / 1_000.0 <= DIGEST_ALPHA
+        assert digest.count_over(0.0, 100.0) == 100
+        assert digest.count_over() == 200
+
+    def test_values_below_min_land_in_bucket_zero(self):
+        assert digest_bucket(0.0) == 0
+        assert digest_bucket(DIGEST_MIN_VALUE_US) == 0
+        assert digest_bucket(1e30) == DIGEST_MAX_BUCKET
+
+    def test_bucket_quantile_empty_is_zero(self):
+        assert _bucket_quantile({}, 0.99) == 0.0
+
+
+class TestDigestMergeAlgebra:
+    def _three(self):
+        parts = []
+        for seed in (1, 2, 3):
+            digest = _digest()
+            for i, value in enumerate(_samples(400, seed=seed)):
+                digest.record(float(i * 17), value)
+            parts.append(digest)
+        return parts
+
+    @staticmethod
+    def _buckets(digest: Digest):
+        return {idx: (dict(cell[0]), cell[1], cell[3])
+                for idx, cell in digest.windows.items()}
+
+    def test_merge_is_associative(self):
+        a1, b1, c1 = self._three()
+        a2, b2, c2 = self._three()
+        a1.merge(b1)
+        a1.merge(c1)          # (a + b) + c
+        b2.merge(c2)
+        a2.merge(b2)          # a + (b + c)
+        assert self._buckets(a1) == self._buckets(a2)
+        assert a1.total_count == a2.total_count
+        assert a1.quantile(0.99) == a2.quantile(0.99)
+
+    def test_merge_is_commutative(self):
+        a1, b1, _ = self._three()
+        a2, b2, _ = self._three()
+        a1.merge(b1)
+        b2.merge(a2)
+        assert self._buckets(a1) == self._buckets(b2)
+
+    def test_merge_matches_single_writer(self):
+        # Two halves merged == everything recorded into one digest.
+        values = _samples(600)
+        split = len(values) // 2
+        whole, left, right = _digest(), _digest(), _digest()
+        for i, value in enumerate(values):
+            whole.record(float(i), value)
+            (left if i < split else right).record(float(i), value)
+        left.merge(right)
+        assert self._buckets(left) == self._buckets(whole)
+        assert left.quantile(0.5) == whole.quantile(0.5)
+
+
+class TestDigestWireForm:
+    def test_roundtrip_preserves_buckets_counts_and_quantiles(self):
+        digest = _digest(window_us=250.0)
+        for i, value in enumerate(_samples(500)):
+            digest.record(float(i * 3), value)
+        clone = digest_from_jsonable(digest.to_jsonable())
+        assert clone.window_us == digest.window_us
+        assert sorted(clone.windows) == sorted(digest.windows)
+        for idx, cell in digest.windows.items():
+            assert clone.windows[idx][0] == cell[0]   # buckets exact
+            assert clone.windows[idx][1] == cell[1]   # count exact
+            assert clone.windows[idx][3] == cell[3]   # max exact
+        assert clone.total_count == digest.total_count
+        # total_sum is NOT bit-stable across the roundtrip (per-window
+        # sums re-add in window order); it must still agree closely.
+        assert clone.total_sum == pytest.approx(digest.total_sum)
+        for q in (0.5, 0.99):
+            assert clone.quantile(q) == digest.quantile(q)
+
+    def test_series_reports_per_window_quantiles(self):
+        digest = _digest(window_us=100.0)
+        for i in range(64):
+            digest.record(50.0, 20.0)
+            digest.record(150.0, 2_000.0)
+        series = digest.series(q=0.99)
+        assert [start for start, _q, _n in series] == [0.0, 100.0]
+        assert series[0][2] == 64 and series[1][2] == 64
+        assert abs(series[0][1] - 20.0) / 20.0 <= DIGEST_ALPHA
+        assert abs(series[1][1] - 2_000.0) / 2_000.0 <= DIGEST_ALPHA
